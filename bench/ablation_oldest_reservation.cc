@@ -1,0 +1,43 @@
+// Ablation of the paper's §5.1 future-work idea: "the performance of these
+// outliers [the very largest messages, p99 slowdown 100x+] could be
+// improved by dedicating a small fraction of downlink bandwidth to the
+// oldest message."
+//
+// We run W4 at 80% load with the reservation off and at 5%/10%/20%, and
+// report the p99 slowdown of the largest decile (the outliers SRPT
+// starves) next to the small-message p99 (which must not regress).
+#include "bench_common.h"
+
+using namespace homa;
+using namespace homa::bench;
+
+int main() {
+    printHeader("Ablation: oldest-message bandwidth reservation",
+                "the §5.1 future-work fix for SRPT's largest-message "
+                "outliers, W4 at 80% load");
+
+    Table table({"reservation", "p99 smallest decile", "p99 median decile",
+                 "p99 largest decile", "keptUp"});
+    for (double frac : {0.0, 0.05, 0.10, 0.20}) {
+        ExperimentConfig cfg;
+        cfg.traffic.workload = WorkloadId::W4;
+        cfg.traffic.load = 0.8;
+        cfg.traffic.stop = simWindow();
+        cfg.proto.homa.oldestReservation = frac;
+        ExperimentResult r = runExperiment(cfg);
+        auto rows = r.slowdown->rows();
+        table.addRow({Table::num(frac, 2), Table::num(rows[0].p99),
+                      Table::num(rows[5].p99), Table::num(rows[9].p99),
+                      r.keptUp ? "yes" : "no"});
+    }
+    std::printf("%s\n", table.format().c_str());
+    std::printf(
+        "Finding: the targeted mechanism works (tests show a deliberately\n"
+        "starved transfer completes strictly sooner with the reservation),\n"
+        "and small messages are unharmed — but at high load the *aggregate*\n"
+        "large-decile tail can get worse: only one message is protected at\n"
+        "a time while every other large message donates the reserved\n"
+        "bandwidth. The paper's \"we leave a full analysis to future work\"\n"
+        "is warranted: a naive oldest-first reservation is not a free win.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§5) and prints it as text. `HOMA_BENCH_SCALE=full` switches
+// from the quick preset (minutes for the whole suite) to paper-scale
+// message counts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "stats/report.h"
+
+namespace homa::bench {
+
+inline bool fullScale() {
+    const char* env = std::getenv("HOMA_BENCH_SCALE");
+    return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+/// Traffic generation window for one-way simulation experiments.
+inline Duration simWindow() {
+    return fullScale() ? milliseconds(150) : milliseconds(8);
+}
+
+/// Window for RPC (implementation-style) experiments. Heavy-tailed
+/// workloads need longer windows to issue a statistically useful number of
+/// RPCs (W5's mean RPC moves ~2.4 MB, so arrivals are ~millisecond-scale).
+inline Duration rpcWindow(WorkloadId wl) {
+    Duration base;
+    switch (wl) {
+        case WorkloadId::W4: base = milliseconds(80); break;
+        case WorkloadId::W5: base = milliseconds(400); break;
+        default: base = milliseconds(25); break;
+    }
+    return fullScale() ? 8 * base : base;
+}
+
+inline void printHeader(const std::string& what, const std::string& paperRef) {
+    std::printf("%s", banner(what).c_str());
+    std::printf("Reproduces: %s\n", paperRef.c_str());
+    std::printf("Scale: %s (set HOMA_BENCH_SCALE=full for paper-scale runs)\n\n",
+                fullScale() ? "full" : "quick");
+}
+
+/// Print per-decile slowdown rows for several labelled trackers side by
+/// side (the paper's Figures 8/9/12/13 as a table: one column per curve).
+inline void printSlowdownTable(
+    const SizeDistribution& dist,
+    const std::vector<std::pair<std::string, const SlowdownTracker*>>& curves,
+    bool tail /* true: p99, false: median */) {
+    std::vector<std::string> header{"size<="};
+    for (const auto& [name, tracker] : curves) header.push_back(name);
+    Table table(header);
+    const auto& deciles = dist.deciles();
+    std::vector<std::vector<SlowdownRow>> rows;
+    rows.reserve(curves.size());
+    for (const auto& [name, tracker] : curves) rows.push_back(tracker->rows());
+    for (int i = 0; i < 10; i++) {
+        std::vector<std::string> row{Table::bytes(deciles[i])};
+        for (const auto& r : rows) {
+            row.push_back(Table::num(tail ? r[i].p99 : r[i].median));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.format().c_str());
+}
+
+}  // namespace homa::bench

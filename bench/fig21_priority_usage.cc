@@ -1,0 +1,38 @@
+// Figure 21: how the 8 priority levels are actually used (W3) at 50/80/90%
+// load: bytes transmitted on each level across all receiver downlinks, as
+// a fraction of downlink capacity.
+#include "bench_common.h"
+
+using namespace homa;
+using namespace homa::bench;
+
+int main() {
+    printHeader("Figure 21: priority level usage (W3)",
+                "%% of downlink bandwidth per priority level; P0-P3 "
+                "scheduled, P4-P7 unscheduled for W3");
+
+    std::vector<std::string> header{"load%"};
+    for (int p = 0; p < kPriorityLevels; p++) header.push_back("P" + std::to_string(p));
+    Table table(header);
+
+    for (int load : {50, 80, 90}) {
+        ExperimentConfig cfg;
+        cfg.traffic.workload = WorkloadId::W3;
+        cfg.traffic.load = load / 100.0;
+        cfg.traffic.stop = simWindow();
+        ExperimentResult r = runExperiment(cfg);
+        std::vector<std::string> row{std::to_string(load)};
+        for (int p = 0; p < kPriorityLevels; p++) {
+            row.push_back(Table::num(100.0 * r.prioUsage[p], 1));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.format().c_str());
+    std::printf(
+        "Expected shape (paper): the four unscheduled levels (P4-P7) carry\n"
+        "roughly equal bytes at every load. At 50%% load scheduled traffic\n"
+        "sits almost entirely on P0 (lowest-available policy); as load\n"
+        "rises, higher scheduled levels fill up because receivers keep\n"
+        "more messages active.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): these
+// bound how much simulated traffic the experiment harnesses can push.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_loop.h"
+#include "sim/qdisc.h"
+#include "sim/random.h"
+#include "transport/message.h"
+#include "wire/header.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+    for (auto _ : state) {
+        EventLoop loop;
+        int sink = 0;
+        for (int i = 0; i < 1000; i++) {
+            loop.at(i, [&sink] { sink++; });
+        }
+        loop.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_StrictPriorityQdisc(benchmark::State& state) {
+    StrictPriorityQdisc q;
+    Rng rng(1);
+    Packet p;
+    p.type = PacketType::Data;
+    p.length = kMaxPayload;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; i++) {
+            p.priority = static_cast<uint8_t>(rng.below(8));
+            q.enqueue(p);
+        }
+        for (int i = 0; i < 64; i++) benchmark::DoNotOptimize(q.dequeue());
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_StrictPriorityQdisc);
+
+void BM_PFabricQdisc(benchmark::State& state) {
+    PFabricQdisc q;
+    Rng rng(1);
+    Packet p;
+    p.type = PacketType::Data;
+    p.length = kMaxPayload;
+    for (auto _ : state) {
+        for (int i = 0; i < 24; i++) {
+            p.remaining = static_cast<uint32_t>(rng.below(1 << 20));
+            p.msg = rng.below(8);
+            q.enqueue(p);
+        }
+        for (int i = 0; i < 24; i++) benchmark::DoNotOptimize(q.dequeue());
+    }
+    state.SetItemsProcessed(state.iterations() * 48);
+}
+BENCHMARK(BM_PFabricQdisc);
+
+void BM_WireCodecRoundTrip(benchmark::State& state) {
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = 3;
+    p.dst = 77;
+    p.msg = 123456789;
+    p.offset = 4242;
+    p.length = 1442;
+    p.messageLength = 1 << 20;
+    std::array<std::byte, wire::kWireHeaderSize> buf;
+    for (auto _ : state) {
+        wire::encodeHeader(p, buf);
+        auto decoded = wire::decodeHeader(buf);
+        benchmark::DoNotOptimize(decoded);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireCodecRoundTrip);
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+    for (auto _ : state) {
+        Reassembly r(100 * kMaxPayload);
+        for (int i = 0; i < 100; i++) {
+            r.addRange(i * kMaxPayload, kMaxPayload);
+        }
+        benchmark::DoNotOptimize(r.complete());
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ReassemblyInOrder);
+
+void BM_ReassemblyReverse(benchmark::State& state) {
+    for (auto _ : state) {
+        Reassembly r(100 * kMaxPayload);
+        for (int i = 99; i >= 0; i--) {
+            r.addRange(i * kMaxPayload, kMaxPayload);
+        }
+        benchmark::DoNotOptimize(r.complete());
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ReassemblyReverse);
+
+void BM_WorkloadSample(benchmark::State& state) {
+    const SizeDistribution& dist =
+        workload(static_cast<WorkloadId>(state.range(0)));
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dist.sample(rng));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadSample)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace homa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 1: mean and max queue lengths (Kbytes) at switch egress ports, by
+// network level, Homa at 80% load. Validates the paper's claim that Homa's
+// buffering stays far below switch capacity (no congestion in the core;
+// bounded TOR->host occupancy from overcommitment + unscheduled bursts).
+#include "bench_common.h"
+
+using namespace homa;
+using namespace homa::bench;
+
+int main() {
+    printHeader("Table 1: switch queue lengths at 80% load",
+                "mean/max queued Kbytes per egress port, by network level");
+
+    Table table({"Queue", "", "W1", "W2", "W3", "W4", "W5"});
+    std::vector<std::array<QueueOccupancy, 3>> cols;
+    for (WorkloadId wl : kAllWorkloads) {
+        ExperimentConfig cfg;
+        cfg.traffic.workload = wl;
+        cfg.traffic.load = 0.8;
+        cfg.traffic.stop = simWindow();
+        ExperimentResult r = runExperiment(cfg);
+        cols.push_back({r.torUp, r.aggrDown, r.torDown});
+    }
+    const char* levels[3] = {"TOR->Aggr", "Aggr->TOR", "TOR->host"};
+    for (int lvl = 0; lvl < 3; lvl++) {
+        std::vector<std::string> meanRow{levels[lvl], "mean"};
+        std::vector<std::string> maxRow{"", "max"};
+        for (const auto& c : cols) {
+            meanRow.push_back(Table::num(c[lvl].meanBytes / 1000.0, 1));
+            maxRow.push_back(
+                Table::num(static_cast<double>(c[lvl].maxBytes) / 1000.0, 1));
+        }
+        table.addRow(std::move(meanRow));
+        table.addRow(std::move(maxRow));
+    }
+    std::printf("%s\n", table.format().c_str());
+    std::printf(
+        "Expected shape (paper): core queues (TOR->Aggr, Aggr->TOR) stay\n"
+        "tiny (~1-2 KB mean, <100 KB max); TOR->host means grow with\n"
+        "message size (1.7-17 KB) and peak around ~150 KB — well within\n"
+        "commodity switch buffers, so drops are rare.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Scatter-gather (search-style fan-out) with incast control.
+//
+// A root server fans a query out to many leaf servers and aggregates their
+// answers — the classic partition/aggregate datacenter pattern whose
+// response wave is the worst-case incast (§3.6). We compare Homa with and
+// without incast control under a large fan-out and report per-query
+// completion latency and retry counts.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/rpc.h"
+#include "stats/percentile.h"
+#include "workload/workloads.h"
+
+using namespace homa;
+
+namespace {
+
+struct QueryStats {
+    Samples latencyUs;
+    uint64_t retries = 0;
+};
+
+QueryStats runFanout(bool incastControl, int fanout, int queries) {
+    NetworkConfig cfg = NetworkConfig::fatTree144();
+    cfg.switchQdisc = [] {
+        StrictPriorityOptions o;
+        o.capBytes = 1 << 20;  // finite buffers so uncontrolled incast hurts
+        return std::make_unique<StrictPriorityQdisc>(o);
+    };
+    HomaConfig homaCfg;
+    homaCfg.incastControl = incastControl;
+    Network net(cfg, HomaTransport::factory(homaCfg, cfg,
+                                            &workload(WorkloadId::W2)));
+
+    std::vector<std::unique_ptr<RpcEndpoint>> eps;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        eps.push_back(std::make_unique<RpcEndpoint>(net, h));
+        eps.back()->setHandler([](const Message&) { return 8000u; });
+    }
+
+    QueryStats stats;
+    Rng rng(7);
+    int remaining = queries;
+
+    std::function<void()> runQuery = [&] {
+        if (remaining-- <= 0) return;
+        auto pending = std::make_shared<int>(fanout);
+        auto started = std::make_shared<Time>(net.loop().now());
+        for (int i = 0; i < fanout; i++) {
+            const HostId leaf =
+                static_cast<HostId>(1 + rng.below(net.hostCount() - 1));
+            eps[0]->call(leaf, 64,
+                         [&, pending, started](RpcId, uint32_t, uint32_t,
+                                               Duration) {
+                             if (--*pending == 0) {
+                                 stats.latencyUs.add(
+                                     toMicros(net.loop().now() - *started));
+                                 runQuery();
+                             }
+                         });
+        }
+    };
+    runQuery();
+    net.loop().run();
+    stats.retries = eps[0]->stats().retries;
+    return stats;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("scatter-gather on Homa: root + N leaves, 8KB answers\n\n");
+    std::printf("%-8s %-22s %-22s\n", "fanout", "incast control ON",
+                "incast control OFF");
+    std::printf("%-8s %-10s %-11s %-10s %-11s\n", "", "p99 (us)", "retries",
+                "p99 (us)", "retries");
+    for (int fanout : {16, 64, 128}) {
+        QueryStats on = runFanout(true, fanout, 60);
+        QueryStats off = runFanout(false, fanout, 60);
+        std::printf("%-8d %-10.1f %-11llu %-10.1f %-11llu\n", fanout,
+                    on.latencyUs.percentile(0.99),
+                    static_cast<unsigned long long>(on.retries),
+                    off.latencyUs.percentile(0.99),
+                    static_cast<unsigned long long>(off.retries));
+    }
+    std::printf(
+        "\nWith incast control the response wave is mostly scheduled, so\n"
+        "buffers stay bounded; without it large fan-outs overflow the\n"
+        "switch and pay retransmission timeouts.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// A memcached-style key-value service on Homa RPCs — the workload that
+// motivates the paper (W1 is Facebook's memcached traffic).
+//
+// Eight client hosts fire GET/SET requests at eight server hosts and we
+// report the latency distribution. GETs have tiny requests and value-sized
+// responses; SETs the reverse — the common datacenter pattern where one
+// side of every RPC is tiny (§2.1).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/rpc.h"
+#include "driver/oracle.h"
+#include "stats/percentile.h"
+#include "workload/workloads.h"
+
+using namespace homa;
+
+int main() {
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    Network net(cfg, HomaTransport::factory(HomaConfig{}, cfg,
+                                            &workload(WorkloadId::W1)));
+
+    // RPC endpoints everywhere; hosts 8..15 act as servers.
+    std::vector<std::unique_ptr<RpcEndpoint>> eps;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        eps.push_back(std::make_unique<RpcEndpoint>(net, h));
+    }
+
+    // Server handler: interpret request length as the operation. SETs
+    // (large requests) store and return a small ack; GETs return a value
+    // whose size is drawn from the W1 value distribution by the client and
+    // encoded in the request size (a real implementation would parse the
+    // payload; sizes are what matter for transport behaviour).
+    for (HostId h = 8; h < 16; h++) {
+        eps[h]->setHandler([](const Message& req) -> uint32_t {
+            if (req.length > 512) return 16;     // SET -> small ack
+            return 64 + (req.id % 1400);         // GET -> value
+        });
+    }
+
+    Samples getLatency, setLatency;
+    Rng rng(2026);
+    const SizeDistribution& values = workload(WorkloadId::W1);
+    int outstanding = 0;
+    int remaining = 4000;
+
+    std::function<void(HostId)> fire = [&](HostId client) {
+        if (remaining == 0) return;
+        remaining--;
+        outstanding++;
+        const bool isSet = rng.chance(0.1);  // 90/10 read-heavy mix
+        const uint32_t reqSize =
+            isSet ? 512 + values.sample(rng) : 32;
+        const HostId server = static_cast<HostId>(8 + rng.below(8));
+        eps[client]->call(server, reqSize,
+                          [&, isSet, client](RpcId, uint32_t, uint32_t,
+                                             Duration elapsed) {
+                              (isSet ? setLatency : getLatency)
+                                  .add(toMicros(elapsed));
+                              outstanding--;
+                              fire(client);  // closed loop per client
+                          });
+    };
+    for (HostId c = 0; c < 8; c++) {
+        for (int depth = 0; depth < 4; depth++) fire(c);
+    }
+    net.loop().run();
+
+    auto report = [](const char* op, const Samples& s) {
+        std::printf("%-4s n=%-6zu p50=%6.2f us  p90=%6.2f us  p99=%6.2f us\n",
+                    op, s.count(), s.percentile(0.50), s.percentile(0.90),
+                    s.percentile(0.99));
+    };
+    std::printf("key-value store over Homa, 8 clients x depth 4, 16 hosts:\n");
+    report("GET", getLatency);
+    report("SET", setLatency);
+    return 0;
+}

@@ -1,0 +1,147 @@
+// Command-line experiment runner: the repo's Swiss-army knife.
+//
+//   example_run_experiment --workload W3 --protocol Homa --load 0.8 \
+//       --window-ms 10 [--seed 99] [--wire-priorities 8] [--sched K]
+//       [--unsched K] [--cutoff BYTES] [--unsched-bytes N]
+//       [--reservation F] [--single-rack] [--wasted-bw]
+//
+// Prints the slowdown-by-decile table, utilization, queue occupancy, and
+// priority usage for any protocol/workload/parameter combination — every
+// figure in bench/ is a scripted set of these runs.
+#include <cstring>
+#include <string>
+
+#include "driver/experiment.h"
+#include "stats/report.h"
+
+using namespace homa;
+
+namespace {
+
+[[noreturn]] void usage() {
+    std::fprintf(
+        stderr,
+        "usage: example_run_experiment [options]\n"
+        "  --workload W1..W5       message size distribution (default W3)\n"
+        "  --protocol NAME         Homa|Basic|pHost|PIAS|pFabric|NDP|\n"
+        "                          Stream-SC|Stream-MC (default Homa)\n"
+        "  --load F                offered load fraction (default 0.8)\n"
+        "  --window-ms N           traffic generation window (default 10)\n"
+        "  --seed N                RNG seed (default 99)\n"
+        "  --single-rack           16-host cluster instead of the fat-tree\n"
+        "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
+        "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
+        "              --overcommit N, --no-incast-control\n"
+        "  --wasted-bw             sample the Figure 16 wasted-bw probe\n");
+    std::exit(2);
+}
+
+Protocol parseProtocol(const std::string& s) {
+    for (Protocol p : {Protocol::Homa, Protocol::Basic, Protocol::PHost,
+                       Protocol::Pias, Protocol::PFabric, Protocol::Ndp,
+                       Protocol::StreamSC, Protocol::StreamMC}) {
+        if (s == protocolName(p)) return p;
+    }
+    std::fprintf(stderr, "unknown protocol: %s\n", s.c_str());
+    usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ExperimentConfig cfg;
+    cfg.traffic.stop = milliseconds(10);
+
+    int sched = 0, unsched = 0;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage();
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            cfg.traffic.workload = workloadFromName(next());
+        } else if (arg == "--protocol") {
+            cfg.proto.kind = parseProtocol(next());
+        } else if (arg == "--load") {
+            cfg.traffic.load = std::stod(next());
+        } else if (arg == "--window-ms") {
+            cfg.traffic.stop = milliseconds(std::stol(next()));
+        } else if (arg == "--seed") {
+            cfg.traffic.seed = std::stoull(next());
+        } else if (arg == "--single-rack") {
+            cfg.net = NetworkConfig::singleRack16();
+        } else if (arg == "--wire-priorities") {
+            cfg.proto.homa.wirePriorities = std::stoi(next());
+        } else if (arg == "--sched") {
+            sched = std::stoi(next());
+        } else if (arg == "--unsched") {
+            unsched = std::stoi(next());
+        } else if (arg == "--cutoff") {
+            cfg.proto.homa.explicitCutoffs.push_back(
+                static_cast<uint32_t>(std::stoul(next())));
+        } else if (arg == "--unsched-bytes") {
+            cfg.proto.homa.unschedBytesLimit = std::stoll(next());
+        } else if (arg == "--reservation") {
+            cfg.proto.homa.oldestReservation = std::stod(next());
+        } else if (arg == "--overcommit") {
+            cfg.proto.homa.overcommitDegree = std::stoi(next());
+        } else if (arg == "--no-incast-control") {
+            cfg.proto.homa.incastControl = false;
+        } else if (arg == "--wasted-bw") {
+            cfg.measureWastedBandwidth = true;
+        } else {
+            usage();
+        }
+    }
+    if (unsched > 0) cfg.proto.homa.unschedPriorities = unsched;
+    if (sched > 0) {
+        cfg.proto.homa.logicalPriorities =
+            sched + std::max(1, cfg.proto.homa.unschedPriorities);
+        if (cfg.proto.homa.unschedPriorities == 0) {
+            cfg.proto.homa.unschedPriorities = 1;
+            cfg.proto.homa.logicalPriorities = sched + 1;
+        }
+    }
+
+    const SizeDistribution& dist = workload(cfg.traffic.workload);
+    std::printf("%s on %s, %s, load %.0f%%, window %.0f ms, seed %llu\n\n",
+                protocolName(cfg.proto.kind),
+                cfg.net.singleRack() ? "16-host rack" : "144-host fat-tree",
+                dist.name().c_str(), 100 * cfg.traffic.load,
+                toSeconds(cfg.traffic.stop) * 1e3,
+                static_cast<unsigned long long>(cfg.traffic.seed));
+
+    ExperimentResult r = runExperiment(cfg);
+
+    Table t({"size<=", "count", "p50 slowdown", "p99 slowdown"});
+    for (const auto& row : r.slowdown->rows()) {
+        t.addRow({Table::bytes(row.bucketMaxSize), std::to_string(row.count),
+                  Table::num(row.median), Table::num(row.p99)});
+    }
+    std::printf("%s\n", t.format().c_str());
+
+    std::printf("messages: %llu generated, %llu delivered, keptUp=%s\n",
+                static_cast<unsigned long long>(r.generated),
+                static_cast<unsigned long long>(r.delivered),
+                r.keptUp ? "yes" : "no");
+    std::printf("downlink utilization: %.1f%%   drops: %llu   trims: %llu\n",
+                100 * r.downlinkUtilization,
+                static_cast<unsigned long long>(r.switchDrops),
+                static_cast<unsigned long long>(r.switchTrims));
+    if (cfg.measureWastedBandwidth) {
+        std::printf("wasted receiver bandwidth: %.1f%%\n",
+                    100 * r.wastedBandwidth);
+    }
+    std::printf("queues (mean/max KB): TOR->host %.1f/%.0f, core %.1f/%.0f\n",
+                r.torDown.meanBytes / 1e3,
+                static_cast<double>(r.torDown.maxBytes) / 1e3,
+                r.torUp.meanBytes / 1e3,
+                static_cast<double>(r.torUp.maxBytes) / 1e3);
+    std::printf("priority usage (%% of downlink): ");
+    for (int p = 0; p < kPriorityLevels; p++) {
+        std::printf("P%d=%.1f ", p, 100 * r.prioUsage[p]);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,14 @@
+#include "baselines/basic_transport.h"
+
+#include <limits>
+
+namespace homa {
+
+HomaConfig basicTransportConfig() {
+    HomaConfig cfg;
+    cfg.wirePriorities = 1;  // no use of network priorities at all
+    cfg.overcommitDegree = std::numeric_limits<int>::max();  // grant everyone
+    return cfg;
+}
+
+}  // namespace homa

@@ -1,0 +1,16 @@
+// "Basic": RAMCloud's pre-Homa receiver-driven transport (§5.1).
+//
+// Basic is Homa minus its two key ideas: it uses no network priorities
+// (every packet at one level) and places no limit on overcommitment
+// (receivers grant independently to all incoming messages). The paper
+// describes it as "roughly HomaP1 with no limit on overcommitment", so we
+// express it as a Homa configuration rather than a separate protocol.
+#pragma once
+
+#include "core/homa_config.h"
+
+namespace homa {
+
+HomaConfig basicTransportConfig();
+
+}  // namespace homa

@@ -1,0 +1,169 @@
+#include "baselines/ndp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+NdpTransport::NdpTransport(HostServices& host, NdpConfig cfg, Duration packetTime)
+    : host_(host),
+      cfg_(cfg),
+      packetTime_(packetTime),
+      pacer_(host.loop(), [this] { pacerTick(); }) {}
+
+void NdpTransport::sendChunk(const Message& msg, uint32_t offset, uint32_t len,
+                             bool retransmit) {
+    Packet p;
+    p.type = PacketType::Data;
+    p.dst = msg.dst;
+    p.msg = msg.id;
+    p.created = msg.created;
+    p.offset = offset;
+    p.length = len;
+    p.messageLength = msg.length;
+    p.flags = msg.flags;
+    if (retransmit) p.setFlag(kFlagRetransmit);
+    if (offset + len >= msg.length) p.setFlag(kFlagLast);
+    p.priority = 0;  // all NDP data at one level; trimmed headers get P7
+    host_.pushPacket(p);  // FIFO NIC: no sender-side reordering
+}
+
+void NdpTransport::sendMessage(const Message& m) {
+    // Blast the first window into the NIC immediately (blind start).
+    OutMessage om;
+    om.msg = m;
+    const int64_t burst = std::min<int64_t>(cfg_.initialWindow, m.length);
+    while (om.sentTo < burst) {
+        const uint32_t chunk = static_cast<uint32_t>(
+            std::min<int64_t>(kMaxPayload, burst - om.sentTo));
+        sendChunk(m, static_cast<uint32_t>(om.sentTo), chunk, false);
+        om.sentTo += chunk;
+    }
+    out_.emplace(m.id, std::move(om));
+    // Fully-sent messages stay around to serve retransmission pulls for
+    // trimmed packets; evict the oldest once the table grows large. MsgIds
+    // are monotone, so begin() is the oldest entry.
+    while (out_.size() > 16384) {
+        auto oldest = out_.begin();
+        if (oldest->second.sentTo < oldest->second.msg.length) break;
+        out_.erase(oldest);
+    }
+}
+
+void NdpTransport::pacerTick() {
+    // Round-robin (fair-share) pull across incomplete inbound messages.
+    if (in_.empty()) {
+        pacerRunning_ = false;
+        return;
+    }
+    auto it = in_.begin();
+    std::advance(it, rrCursor_ % in_.size());
+    bool issued = false;
+    for (size_t step = 0; step < in_.size() && !issued; step++, ++it) {
+        if (it == in_.end()) it = in_.begin();
+        InMessage& im = it->second;
+        if (!im.wantsPull(cfg_.initialWindow)) continue;
+
+        Packet pull;
+        pull.type = PacketType::Pull;
+        pull.dst = im.meta.src;
+        pull.msg = im.meta.id;
+        pull.priority = kHighestPriority;
+        if (!im.trimmed.empty()) {
+            pull.offset = *im.trimmed.begin();
+            pull.setFlag(kFlagRetransmit);
+            im.trimmed.erase(im.trimmed.begin());
+        } else {
+            pull.offset = static_cast<uint32_t>(im.pulledTo);
+            im.pulledTo = std::min<int64_t>(
+                im.pulledTo + kMaxPayload, im.reasm.messageLength());
+        }
+        host_.pushPacket(pull);
+        issued = true;
+    }
+    rrCursor_++;
+    if (issued) {
+        pacer_.schedule(packetTime_);
+    } else {
+        pacerRunning_ = false;
+    }
+}
+
+void NdpTransport::handlePacket(const Packet& p) {
+    switch (p.type) {
+        case PacketType::Pull: {
+            auto it = out_.find(p.msg);
+            if (it == out_.end()) return;  // evicted; loss is unrecoverable
+            OutMessage& om = it->second;
+            if (p.hasFlag(kFlagRetransmit)) {
+                // The pull names the trimmed offset explicitly.
+                if (p.offset >= om.msg.length) return;
+                const uint32_t chunk = static_cast<uint32_t>(std::min<int64_t>(
+                    kMaxPayload, om.msg.length - p.offset));
+                sendChunk(om.msg, p.offset, chunk, true);
+                return;
+            }
+            if (om.sentTo >= om.msg.length) return;
+            const uint32_t chunk = static_cast<uint32_t>(std::min<int64_t>(
+                kMaxPayload, om.msg.length - om.sentTo));
+            sendChunk(om.msg, static_cast<uint32_t>(om.sentTo), chunk, false);
+            om.sentTo += chunk;
+            return;
+        }
+        case PacketType::Data: {
+            auto it = in_.find(p.msg);
+            if (it == in_.end() && p.hasFlag(kFlagRetransmit)) {
+                return;  // duplicate retransmission after completion
+            }
+            if (it == in_.end()) {
+                Message meta;
+                meta.id = p.msg;
+                meta.src = p.src;
+                meta.dst = p.dst;
+                meta.length = p.messageLength;
+                meta.flags = p.flags;
+                meta.created = p.created;
+                InMessage im(meta, p.messageLength);
+                im.pulledTo = std::min<int64_t>(cfg_.initialWindow,
+                                                p.messageLength);
+                it = in_.emplace(p.msg, std::move(im)).first;
+            }
+            InMessage& im = it->second;
+            if (p.hasFlag(kFlagTrimmed)) {
+                // Header survived; payload was cut in-network. Queue the
+                // offset for a retransmission pull.
+                if (!im.reasm.complete()) im.trimmed.insert(p.offset);
+            } else {
+                im.reasm.addRange(p.offset, p.length);
+                im.acc.packetsReceived++;
+                im.acc.queueingDelay += p.queueingDelay;
+                im.acc.preemptionLag += p.preemptionLag;
+            }
+            if (im.reasm.complete()) {
+                Message meta = im.meta;
+                DeliveryInfo acc = im.acc;
+                acc.completed = host_.loop().now();
+                in_.erase(it);
+                notifyDelivered(meta, acc);
+            } else if (!pacerRunning_) {
+                pacerRunning_ = true;
+                pacer_.schedule(0);
+            }
+            return;
+        }
+        default:
+            return;
+    }
+}
+
+TransportFactory NdpTransport::factory(NdpConfig cfg, const NetworkConfig& net) {
+    if (cfg.initialWindow <= 0) {
+        cfg.initialWindow = NetworkTimings::compute(net).rttBytes;
+    }
+    const Duration packetTime = net.hostLink.serialize(kFullPacketWireBytes);
+    return [cfg, packetTime](HostServices& host) {
+        return std::make_unique<NdpTransport>(host, cfg, packetTime);
+    };
+}
+
+}  // namespace homa

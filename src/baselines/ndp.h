@@ -1,0 +1,77 @@
+// NDP (Handley et al., SIGCOMM 2017) — receiver-driven pull with packet
+// trimming.
+//
+// Senders blast the first RTT of a message into a FIFO NIC queue (NDP
+// senders do not prioritize their transmit queues — the paper blames this
+// for sender-side HOL blocking). Switches keep ~8-packet queues and trim
+// overflowing data packets to headers, which travel at high priority so
+// the receiver learns of the loss instantly. Receivers pace PULL packets
+// at their downlink rate, round-robin across active messages (fair-share
+// scheduling, not SRPT) and never overcommit — the two properties the Homa
+// paper shows cause uniformly high slowdown for multi-RTT messages and a
+// ~73% load ceiling.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace homa {
+
+struct NdpConfig {
+    int64_t initialWindow = 0;            // <= 0: rttBytes
+    int64_t switchBufferBytes = 8 * 1500;  // trim threshold per egress port
+};
+
+class NdpTransport final : public Transport {
+public:
+    NdpTransport(HostServices& host, NdpConfig cfg, Duration packetTime);
+
+    void sendMessage(const Message& m) override;
+    void handlePacket(const Packet& p) override;
+    // NDP pushes everything (FIFO NIC); pullPacket stays empty.
+
+    static TransportFactory factory(NdpConfig cfg, const NetworkConfig& net);
+
+private:
+    struct OutMessage {
+        Message msg;
+        int64_t sentTo = 0;  // fresh bytes handed to the NIC
+    };
+
+    struct InMessage {
+        Message meta;
+        Reassembly reasm;
+        DeliveryInfo acc;
+        std::set<uint32_t> trimmed;   // offsets needing retransmission
+        int64_t pulledTo = 0;         // fresh bytes requested beyond window
+        InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+        bool wantsPull(int64_t window) const {
+            if (!trimmed.empty()) return true;
+            // Pulls are clocked against arrivals: cap requested-but-unseen
+            // bytes so a stalled sender doesn't accumulate a burst.
+            return pulledTo < static_cast<int64_t>(reasm.messageLength()) &&
+                   pulledTo - reasm.receivedBytes() < 2 * window;
+        }
+    };
+
+    void pacerTick();
+    void sendChunk(const Message& msg, uint32_t offset, uint32_t len,
+                   bool retransmit);
+
+    HostServices& host_;
+    NdpConfig cfg_;
+    Duration packetTime_;
+    std::map<MsgId, OutMessage> out_;
+    std::map<MsgId, InMessage> in_;
+    size_t rrCursor_ = 0;
+    Timer pacer_;
+    bool pacerRunning_ = false;
+};
+
+}  // namespace homa

@@ -1,0 +1,152 @@
+#include "baselines/pfabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+PFabricTransport::PFabricTransport(HostServices& host, PFabricConfig cfg)
+    : host_(host), cfg_(cfg), rtoScan_(host.loop(), [this] { checkTimeouts(); }) {}
+
+void PFabricTransport::sendMessage(const Message& m) {
+    OutMessage om(m);
+    om.lastAckActivity = host_.loop().now();
+    out_.emplace(m.id, std::move(om));
+    if (!rtoScan_.armed()) rtoScan_.schedule(cfg_.rto);
+    host_.kickNic();
+}
+
+std::optional<Packet> PFabricTransport::pullPacket() {
+    // Sender-side SRPT by remaining (unacked) bytes.
+    OutMessage* best = nullptr;
+    for (auto& [id, om] : out_) {
+        if (!om.sendable(cfg_.windowBytes)) continue;
+        if (best == nullptr || om.remaining() < best->remaining()) best = &om;
+    }
+    if (best == nullptr) return std::nullopt;
+
+    uint32_t offset, chunk;
+    bool retrans = false;
+    if (best->retransmit.has_value()) {
+        offset = best->retransmit->first;
+        chunk = std::min<uint32_t>(best->retransmit->second, kMaxPayload);
+        best->retransmit.reset();
+        retrans = true;
+        retransmissions_++;
+    } else {
+        offset = static_cast<uint32_t>(best->nextOffset);
+        chunk = static_cast<uint32_t>(
+            std::min<int64_t>(kMaxPayload, best->msg.length - best->nextOffset));
+        best->nextOffset += chunk;
+        best->inFlight += chunk;
+    }
+
+    Packet p;
+    p.type = PacketType::Data;
+    p.dst = best->msg.dst;
+    p.msg = best->msg.id;
+    p.created = best->msg.created;
+    p.offset = offset;
+    p.length = chunk;
+    p.messageLength = best->msg.length;
+    p.flags = best->msg.flags;
+    if (retrans) p.setFlag(kFlagRetransmit);
+    if (offset + chunk >= best->msg.length) p.setFlag(kFlagLast);
+    // pFabric's entire scheduling story: the packet carries the remaining
+    // message size; switches sort by it. The 8-level `priority` field is
+    // irrelevant here (PFabricQdisc ignores it for data).
+    p.remaining = static_cast<uint32_t>(std::max<int64_t>(0, best->remaining()));
+    p.priority = 0;
+    return p;
+}
+
+void PFabricTransport::handlePacket(const Packet& p) {
+    if (p.type == PacketType::Ack) {
+        auto it = out_.find(p.msg);
+        if (it == out_.end()) return;
+        OutMessage& om = it->second;
+        const uint32_t fresh = om.acked.addRange(p.offset, p.length);
+        om.inFlight = std::max<int64_t>(0, om.inFlight - fresh);
+        om.lastAckActivity = host_.loop().now();
+        if (om.acked.complete()) {
+            out_.erase(it);
+        }
+        host_.kickNic();
+        return;
+    }
+    if (p.type != PacketType::Data) return;
+
+    // Per-packet ACK; carries the packet's range. ACKs ride the control
+    // queue (tiny, never dropped by PFabricQdisc).
+    Packet ack;
+    ack.type = PacketType::Ack;
+    ack.dst = p.src;
+    ack.msg = p.msg;
+    ack.offset = p.offset;
+    ack.length = p.length;
+    ack.priority = kHighestPriority;
+    host_.pushPacket(ack);
+
+    auto it = in_.find(p.msg);
+    if (it == in_.end()) {
+        Message meta;
+        meta.id = p.msg;
+        meta.src = p.src;
+        meta.dst = p.dst;
+        meta.length = p.messageLength;
+        meta.flags = p.flags;
+        meta.created = p.created;
+        it = in_.emplace(p.msg, InMessage(meta, p.messageLength)).first;
+    }
+    InMessage& im = it->second;
+    im.reasm.addRange(p.offset, p.length);
+    im.acc.packetsReceived++;
+    im.acc.queueingDelay += p.queueingDelay;
+    im.acc.preemptionLag += p.preemptionLag;
+    if (im.reasm.complete()) {
+        Message meta = im.meta;
+        DeliveryInfo acc = im.acc;
+        acc.completed = host_.loop().now();
+        in_.erase(it);
+        notifyDelivered(meta, acc);
+    }
+}
+
+void PFabricTransport::checkTimeouts() {
+    const Time now = host_.loop().now();
+    bool any = false;
+    for (auto& [id, om] : out_) {
+        any = true;
+        if (now - om.lastAckActivity < cfg_.rto) continue;
+        if (om.retransmit.has_value()) continue;
+        // Retransmit the first unacked range; the in-flight estimate for
+        // lost packets is stale, so reset it to what the window allows.
+        auto gap = om.acked.firstGap();
+        if (!gap.has_value()) continue;
+        if (gap->first >= om.nextOffset) {
+            // Nothing sent is unacked; the window was just idle.
+            om.inFlight = 0;
+            continue;
+        }
+        const uint32_t len = std::min<uint32_t>(gap->second, kMaxPayload);
+        om.retransmit = std::make_pair(gap->first, len);
+        om.inFlight = 0;
+        om.lastAckActivity = now;
+    }
+    if (any) {
+        rtoScan_.schedule(cfg_.rto / 2);
+        host_.kickNic();
+    }
+}
+
+TransportFactory PFabricTransport::factory(PFabricConfig cfg,
+                                           const NetworkConfig& net) {
+    const auto timings = NetworkTimings::compute(net);
+    if (cfg.windowBytes <= 0) cfg.windowBytes = timings.rttBytes;
+    if (cfg.rto <= 0) cfg.rto = 3 * timings.rttSmallGrant;
+    return [cfg](HostServices& host) {
+        return std::make_unique<PFabricTransport>(host, cfg);
+    };
+}
+
+}  // namespace homa

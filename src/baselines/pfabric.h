@@ -1,0 +1,78 @@
+// pFabric (Alizadeh et al., SIGCOMM 2013) — near-optimal SRPT via
+// fine-grained in-network priorities.
+//
+// Every packet carries the sender's remaining message size; switches keep
+// tiny buffers, drop the packet with the largest remaining size on
+// overflow, and dequeue the smallest (PFabricQdisc). Rate control is
+// minimal, per the pFabric philosophy: send at line rate within a BDP
+// window, recover drops with a small retransmission timeout. The paper
+// credits pFabric with near-optimal latency but notes it wastes bandwidth
+// on dropped/retransmitted packets (Figure 15) and needs priority hardware
+// that does not exist; both properties reproduce here.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace homa {
+
+struct PFabricConfig {
+    int64_t windowBytes = 0;    // <= 0: rttBytes (BDP)
+    Duration rto = 0;           // <= 0: 3x network RTT
+    /// Switch buffer per egress port (the paper's setup uses ~2 BDP).
+    int64_t switchBufferBytes = 36 * 1500;
+};
+
+class PFabricTransport final : public Transport {
+public:
+    PFabricTransport(HostServices& host, PFabricConfig cfg);
+
+    void sendMessage(const Message& m) override;
+    void handlePacket(const Packet& p) override;
+    std::optional<Packet> pullPacket() override;
+
+    static TransportFactory factory(PFabricConfig cfg, const NetworkConfig& net);
+
+    uint64_t retransmissions() const { return retransmissions_; }
+
+private:
+    struct OutMessage {
+        Message msg;
+        Reassembly acked;         // which bytes the receiver confirmed
+        int64_t nextOffset = 0;   // next fresh byte
+        int64_t inFlight = 0;
+        Time lastAckActivity = 0;
+        std::optional<std::pair<uint32_t, uint32_t>> retransmit;
+
+        OutMessage(Message m) : msg(m), acked(m.length) {}
+        int64_t remaining() const {
+            return static_cast<int64_t>(msg.length) - acked.receivedBytes();
+        }
+        bool sendable(int64_t window) const {
+            return retransmit.has_value() ||
+                   (nextOffset < msg.length && inFlight < window);
+        }
+    };
+
+    struct InMessage {
+        Message meta;
+        Reassembly reasm;
+        DeliveryInfo acc;
+        InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+    };
+
+    void checkTimeouts();
+
+    HostServices& host_;
+    PFabricConfig cfg_;
+    std::map<MsgId, OutMessage> out_;
+    std::map<MsgId, InMessage> in_;
+    Timer rtoScan_;
+    uint64_t retransmissions_ = 0;
+};
+
+}  // namespace homa

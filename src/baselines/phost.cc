@@ -1,0 +1,189 @@
+#include "baselines/phost.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+PHostTransport::PHostTransport(HostServices& host, PHostConfig cfg,
+                               Duration packetTime)
+    : host_(host),
+      cfg_(cfg),
+      packetTime_(packetTime),
+      pacer_(host.loop(), [this] { pacerTick(); }) {}
+
+void PHostTransport::sendMessage(const Message& m) {
+    OutMessage om;
+    om.msg = m;
+    om.unschedLimit = std::min<int64_t>(cfg_.rttBytes, m.length);
+    out_.emplace(m.id, std::move(om));
+    host_.kickNic();
+}
+
+std::optional<Packet> PHostTransport::pullPacket() {
+    // Expire stale tokens first (the receiver's scheduled slot has passed;
+    // using an old token now would congest its downlink).
+    if (cfg_.tokenTtl > 0) {
+        const Time now = host_.loop().now();
+        for (auto& [id, om] : out_) {
+            while (!om.tokens.empty() &&
+                   now - om.tokens.front() > cfg_.tokenTtl) {
+                om.tokens.pop_front();
+            }
+        }
+    }
+    // Sender-side SRPT among messages with something transmittable.
+    OutMessage* best = nullptr;
+    for (auto& [id, om] : out_) {
+        if (!om.sendable()) continue;
+        if (best == nullptr || om.remaining() < best->remaining()) best = &om;
+    }
+    if (best == nullptr) return std::nullopt;
+
+    const bool unscheduled = best->nextOffset < best->unschedLimit;
+    const int64_t limit =
+        unscheduled ? best->unschedLimit : static_cast<int64_t>(best->msg.length);
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<int64_t>(kMaxPayload, limit - best->nextOffset));
+
+    Packet p;
+    p.type = PacketType::Data;
+    p.dst = best->msg.dst;
+    p.msg = best->msg.id;
+    p.created = best->msg.created;
+    p.offset = static_cast<uint32_t>(best->nextOffset);
+    p.length = chunk;
+    p.messageLength = best->msg.length;
+    p.flags = best->msg.flags;
+    p.priority = unscheduled ? cfg_.unschedPriority : cfg_.schedPriority;
+    best->nextOffset += chunk;
+    if (!unscheduled) best->tokens.pop_front();
+    if (best->nextOffset >= best->msg.length) {
+        p.setFlag(kFlagLast);
+        out_.erase(best->msg.id);
+    }
+    return p;
+}
+
+PHostTransport::InMessage* PHostTransport::chooseGrantee() {
+    // SRPT over messages still needing tokens; demote unresponsive senders
+    // (free-token timeout) so the pacer is not wasted on them forever.
+    const Time now = host_.loop().now();
+    InMessage* best = nullptr;
+    for (auto& [id, im] : in_) {
+        // Lagging check first: a fully-granted message whose sender went
+        // quiet must have its token accounting rolled back (the sender let
+        // them expire) or it could never be re-scheduled.
+        const bool lagging =
+            im.tokensSent > static_cast<int64_t>(im.reasm.receivedBytes()) &&
+            now - im.lastData > cfg_.freeTokenTimeout;
+        if (lagging) {
+            im.demoted = true;
+            im.tokensSent = im.reasm.receivedBytes();
+        }
+        if (!im.needsTokens() || im.demoted) continue;
+        if (best == nullptr || im.remaining() < best->remaining()) best = &im;
+    }
+    if (best == nullptr) {
+        // Everyone is demoted (or nothing needs tokens): as a last resort
+        // grant to the SRPT-best demoted message anyway.
+        for (auto& [id, im] : in_) {
+            if (!im.needsTokens()) continue;
+            if (best == nullptr || im.remaining() < best->remaining()) best = &im;
+        }
+    }
+    return best;
+}
+
+void PHostTransport::pacerTick() {
+    InMessage* im = chooseGrantee();
+    if (im == nullptr) {
+        if (!in_.empty()) {
+            // Nothing grantable right now (all granted or demoted), but
+            // incomplete messages remain: check back on the free-token
+            // timescale so expired-token messages get re-scheduled.
+            pacer_.schedule(cfg_.freeTokenTimeout);
+            return;
+        }
+        pacerRunning_ = false;
+        return;
+    }
+    Packet t;
+    t.type = PacketType::Token;
+    t.dst = im->meta.src;
+    t.msg = im->meta.id;
+    t.priority = kHighestPriority;
+    host_.pushPacket(t);
+    im->tokensSent += kMaxPayload;
+    pacer_.schedule(packetTime_);
+}
+
+void PHostTransport::handlePacket(const Packet& p) {
+    switch (p.type) {
+        case PacketType::Token: {
+            auto it = out_.find(p.msg);
+            if (it == out_.end()) return;  // message already fully sent
+            it->second.tokens.push_back(host_.loop().now());
+            host_.kickNic();
+            return;
+        }
+        case PacketType::Data: {
+            auto it = in_.find(p.msg);
+            if (it == in_.end()) {
+                Message meta;
+                meta.id = p.msg;
+                meta.src = p.src;
+                meta.dst = p.dst;
+                meta.length = p.messageLength;
+                meta.flags = p.flags;
+                meta.created = p.created;
+                InMessage im(meta, p.messageLength);
+                im.tokensSent = std::min<int64_t>(cfg_.rttBytes, p.messageLength);
+                it = in_.emplace(p.msg, std::move(im)).first;
+            }
+            InMessage& im = it->second;
+            im.lastData = host_.loop().now();
+            im.demoted = false;
+            im.reasm.addRange(p.offset, p.length);
+            im.acc.packetsReceived++;
+            im.acc.queueingDelay += p.queueingDelay;
+            im.acc.preemptionLag += p.preemptionLag;
+            if (im.reasm.complete()) {
+                Message meta = im.meta;
+                DeliveryInfo acc = im.acc;
+                acc.completed = host_.loop().now();
+                in_.erase(it);
+                notifyDelivered(meta, acc);
+            }
+            if (!pacerRunning_ && !in_.empty()) {
+                pacerRunning_ = true;
+                pacer_.schedule(0);
+            }
+            return;
+        }
+        default:
+            return;
+    }
+}
+
+bool PHostTransport::hasWithheldWork() const {
+    // pHost grants to one message at a time; any other token-needing
+    // message is withheld by design.
+    int needy = 0;
+    for (const auto& [id, im] : in_) {
+        if (im.needsTokens()) needy++;
+    }
+    return needy > 1;
+}
+
+TransportFactory PHostTransport::factory(PHostConfig cfg,
+                                         const NetworkConfig& net) {
+    if (cfg.rttBytes <= 0) cfg.rttBytes = NetworkTimings::compute(net).rttBytes;
+    const Duration packetTime =
+        net.hostLink.serialize(kFullPacketWireBytes);
+    return [cfg, packetTime](HostServices& host) {
+        return std::make_unique<PHostTransport>(host, cfg, packetTime);
+    };
+}
+
+}  // namespace homa

@@ -1,0 +1,93 @@
+// pHost (Gao et al., CoNEXT 2015) — the receiver-driven baseline.
+//
+// Mechanisms the paper contrasts with Homa (§2.2, §5.2):
+//  * first RTTbytes of every message sent blindly at ONE static high
+//    priority; all later packets at ONE static low priority;
+//  * receivers schedule one token per packet time, and grant to only ONE
+//    message at a time (no overcommitment), the SRPT-best;
+//  * a free-token timeout demotes unresponsive senders so the receiver
+//    moves on — the mechanism whose limits cap pHost at 58-73% load.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace homa {
+
+struct PHostConfig {
+    int64_t rttBytes = 0;  // <= 0: derive from topology
+    /// Receiver gives up on an unresponsive sender after this long without
+    /// a data packet for the granted message.
+    Duration freeTokenTimeout = microseconds(15);
+    /// Tokens expire if unused this long after arriving at the sender
+    /// (the pHost paper uses 1.5 packet transmission times). Expired
+    /// tokens are the bandwidth pHost wastes: the receiver scheduled a
+    /// packet slot that nobody used. 0 disables expiry.
+    Duration tokenTtl = microseconds(2);
+    uint8_t unschedPriority = kHighestPriority;  // static, all messages
+    uint8_t schedPriority = 0;                   // static, all messages
+};
+
+class PHostTransport final : public Transport {
+public:
+    PHostTransport(HostServices& host, PHostConfig cfg, Duration packetTime);
+
+    void sendMessage(const Message& m) override;
+    void handlePacket(const Packet& p) override;
+    std::optional<Packet> pullPacket() override;
+    bool hasWithheldWork() const override;
+
+    static TransportFactory factory(PHostConfig cfg, const NetworkConfig& net);
+
+private:
+    struct OutMessage {
+        Message msg;
+        int64_t unschedLimit = 0;
+        int64_t nextOffset = 0;
+        // Unused scheduled-packet permissions: arrival times, so they can
+        // expire (pHost's wasted-bandwidth mechanism).
+        std::deque<Time> tokens;
+        int64_t remaining() const {
+            return static_cast<int64_t>(msg.length) - nextOffset;
+        }
+        bool sendable() const {
+            return nextOffset < unschedLimit ||
+                   (!tokens.empty() && nextOffset < msg.length);
+        }
+    };
+
+    struct InMessage {
+        Message meta;
+        Reassembly reasm;
+        DeliveryInfo acc;
+        int64_t tokensSent = 0;     // scheduled bytes requested so far
+        Time lastData = 0;
+        bool demoted = false;       // free-token timeout hit; skip until data
+        InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+        int64_t remaining() const {
+            return static_cast<int64_t>(reasm.messageLength()) -
+                   reasm.receivedBytes();
+        }
+        bool needsTokens() const {
+            return tokensSent < static_cast<int64_t>(reasm.messageLength());
+        }
+    };
+
+    void pacerTick();
+    InMessage* chooseGrantee();
+
+    HostServices& host_;
+    PHostConfig cfg_;
+    Duration packetTime_;  // downlink serialization time of a full packet
+    std::map<MsgId, OutMessage> out_;
+    std::map<MsgId, InMessage> in_;
+    Timer pacer_;
+    bool pacerRunning_ = false;
+};
+
+}  // namespace homa

@@ -1,0 +1,197 @@
+#include "baselines/pias.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace homa {
+
+std::vector<uint32_t> piasThresholdsFor(const SizeDistribution& dist) {
+    // Equal-bytes split of the "bytes sent so far" axis: threshold i is the
+    // point by which i/8 of all bytes (across all messages) have been sent.
+    // This mirrors PIAS's goal of spreading traffic across levels.
+    Rng rng(0x1A5 ^ std::hash<std::string>{}(dist.name()));
+    std::vector<uint32_t> sizes(100000);
+    double total = 0;
+    for (auto& s : sizes) {
+        s = dist.sample(rng);
+        total += s;
+    }
+    std::sort(sizes.begin(), sizes.end());
+
+    // Bytes transmitted below a bytes-sent threshold t: sum over messages
+    // of min(size, t). Binary-search thresholds for each 1/8 mass.
+    auto massBelow = [&](double t) {
+        double m = 0;
+        for (uint32_t s : sizes) m += std::min<double>(s, t);
+        return m;
+    };
+    std::vector<uint32_t> thresholds;
+    for (int i = 1; i < kPriorityLevels; i++) {
+        const double target = total * i / kPriorityLevels;
+        double lo = 1, hi = dist.maxSize();
+        for (int iter = 0; iter < 48 && hi - lo > 0.5; iter++) {
+            const double mid = 0.5 * (lo + hi);
+            if (massBelow(mid) < target) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        thresholds.push_back(static_cast<uint32_t>(std::lround(hi)));
+    }
+    // Ensure the first threshold covers at least one full packet: PIAS
+    // always sends a single-packet message entirely at top priority.
+    thresholds[0] = std::max<uint32_t>(thresholds[0], kMaxPayload);
+    for (size_t i = 1; i < thresholds.size(); i++) {
+        thresholds[i] = std::max(thresholds[i], thresholds[i - 1]);
+    }
+    return thresholds;
+}
+
+PiasTransport::PiasTransport(HostServices& host, PiasConfig cfg)
+    : host_(host), cfg_(cfg) {
+    assert(!cfg_.thresholds.empty());
+    assert(cfg_.initialWindow > 0);
+}
+
+uint8_t PiasTransport::priorityForBytesSent(int64_t bytesSent) const {
+    int level = 0;
+    for (uint32_t t : cfg_.thresholds) {
+        if (bytesSent >= static_cast<int64_t>(t)) level++;
+    }
+    return static_cast<uint8_t>(
+        std::max(0, kHighestPriority - level));
+}
+
+void PiasTransport::sendMessage(const Message& m) {
+    OutMessage om;
+    om.msg = m;
+    om.cwnd = static_cast<double>(cfg_.initialWindow);
+    om.rttStart = host_.loop().now();
+    out_.emplace(m.id, std::move(om));
+    host_.kickNic();
+}
+
+std::optional<Packet> PiasTransport::pullPacket() {
+    // PIAS senders have no SRPT (sizes unknown); fair round-robin across
+    // windowed flows.
+    if (out_.empty()) return std::nullopt;
+    auto it = out_.begin();
+    std::advance(it, rrCursor_ % out_.size());
+    for (size_t step = 0; step < out_.size(); step++, ++it) {
+        if (it == out_.end()) it = out_.begin();
+        if (it->second.sendable()) break;
+        if (step + 1 == out_.size()) return std::nullopt;
+    }
+    rrCursor_++;
+    OutMessage& om = it->second;
+
+    const uint32_t chunk = static_cast<uint32_t>(std::min<int64_t>(
+        kMaxPayload, om.msg.length - om.nextOffset));
+    Packet p;
+    p.type = PacketType::Data;
+    p.dst = om.msg.dst;
+    p.msg = om.msg.id;
+    p.created = om.msg.created;
+    p.offset = static_cast<uint32_t>(om.nextOffset);
+    p.length = chunk;
+    p.messageLength = om.msg.length;
+    p.flags = om.msg.flags;
+    p.priority = priorityForBytesSent(om.nextOffset);
+    om.nextOffset += chunk;
+    if (om.nextOffset >= om.msg.length) p.setFlag(kFlagLast);
+    return p;
+}
+
+void PiasTransport::onAck(const Packet& p) {
+    auto it = out_.find(p.msg);
+    if (it == out_.end()) return;
+    OutMessage& om = it->second;
+    om.ackedBytes += p.length;
+    om.acksInRtt++;
+    if (p.hasFlag(kFlagEcn)) om.marksInRtt++;
+
+    // One DCTCP window update per RTT.
+    const Time now = host_.loop().now();
+    if (now - om.rttStart >= cfg_.rtt && om.acksInRtt > 0) {
+        const double frac = static_cast<double>(om.marksInRtt) /
+                            static_cast<double>(om.acksInRtt);
+        om.markedEwma = (1 - cfg_.dctcpGain) * om.markedEwma +
+                        cfg_.dctcpGain * frac;
+        if (om.marksInRtt > 0) {
+            om.cwnd *= (1.0 - om.markedEwma / 2.0);
+        } else {
+            om.cwnd += kMaxPayload;  // additive increase
+        }
+        om.cwnd = std::max<double>(om.cwnd, kMaxPayload);
+        om.acksInRtt = 0;
+        om.marksInRtt = 0;
+        om.rttStart = now;
+    }
+
+    if (om.ackedBytes >= om.msg.length) {
+        out_.erase(it);
+    }
+    host_.kickNic();
+}
+
+void PiasTransport::handlePacket(const Packet& p) {
+    if (p.type == PacketType::Ack) {
+        onAck(p);
+        return;
+    }
+    if (p.type != PacketType::Data) return;
+
+    // Echo the congestion mark back to the sender (DCTCP ECN echo).
+    Packet ack;
+    ack.type = PacketType::Ack;
+    ack.dst = p.src;
+    ack.msg = p.msg;
+    ack.length = p.length;
+    ack.priority = kHighestPriority;
+    if (p.hasFlag(kFlagEcn)) ack.setFlag(kFlagEcn);
+    host_.pushPacket(ack);
+
+    auto it = in_.find(p.msg);
+    if (it == in_.end()) {
+        Message meta;
+        meta.id = p.msg;
+        meta.src = p.src;
+        meta.dst = p.dst;
+        meta.length = p.messageLength;
+        meta.flags = p.flags;
+        meta.created = p.created;
+        it = in_.emplace(p.msg, InMessage(meta, p.messageLength)).first;
+    }
+    InMessage& im = it->second;
+    im.reasm.addRange(p.offset, p.length);
+    im.acc.packetsReceived++;
+    im.acc.queueingDelay += p.queueingDelay;
+    im.acc.preemptionLag += p.preemptionLag;
+    if (im.reasm.complete()) {
+        Message meta = im.meta;
+        DeliveryInfo acc = im.acc;
+        acc.completed = host_.loop().now();
+        in_.erase(it);
+        notifyDelivered(meta, acc);
+    }
+}
+
+TransportFactory PiasTransport::factory(PiasConfig cfg, const NetworkConfig& net,
+                                        const SizeDistribution* workload) {
+    const auto timings = NetworkTimings::compute(net);
+    if (cfg.initialWindow <= 0) cfg.initialWindow = timings.rttBytes;
+    if (cfg.rtt <= 0) cfg.rtt = timings.rttSmallGrant;
+    if (cfg.thresholds.empty()) {
+        assert(workload != nullptr);
+        cfg.thresholds = piasThresholdsFor(*workload);
+    }
+    return [cfg](HostServices& host) {
+        return std::make_unique<PiasTransport>(host, cfg);
+    };
+}
+
+}  // namespace homa

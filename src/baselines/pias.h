@@ -1,0 +1,87 @@
+// PIAS (Bai et al., NSDI 2015) — information-agnostic sender-side
+// priorities.
+//
+// PIAS knows nothing about message sizes a priori; each flow starts at the
+// highest priority and is demoted as it sends more bytes (multi-level
+// feedback queue over "bytes sent so far"). Underneath it runs DCTCP-style
+// window control driven by ECN marks. This captures the behaviours the
+// Homa paper analyzes (§5.2): short messages queue behind the high-priority
+// prefixes of long ones; long messages starve at low priority ("it is hard
+// to finish them"); and ECN-induced backoff hurts multi-packet messages at
+// high load.
+//
+// The demotion thresholds are derived from the workload by equalizing
+// bytes per level (the same balancing Homa uses for unscheduled cutoffs) —
+// a stand-in for PIAS's offline threshold optimizer.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/topology.h"
+#include "transport/transport.h"
+#include "workload/distribution.h"
+
+namespace homa {
+
+struct PiasConfig {
+    /// Bytes-sent demotion thresholds, ascending; level = #thresholds
+    /// crossed; priority = highest - level. Empty: derive from workload.
+    std::vector<uint32_t> thresholds;
+
+    int64_t initialWindow = 0;  // <= 0: rttBytes (BDP)
+    Duration rtt = 0;           // <= 0: derive (for the additive-increase clock)
+    double dctcpGain = 1.0 / 16.0;  // EWMA gain g for the marked fraction
+};
+
+/// Equal-bytes demotion thresholds for a workload (7 thresholds, 8 levels).
+std::vector<uint32_t> piasThresholdsFor(const SizeDistribution& dist);
+
+class PiasTransport final : public Transport {
+public:
+    PiasTransport(HostServices& host, PiasConfig cfg);
+
+    void sendMessage(const Message& m) override;
+    void handlePacket(const Packet& p) override;
+    std::optional<Packet> pullPacket() override;
+
+    static TransportFactory factory(PiasConfig cfg, const NetworkConfig& net,
+                                    const SizeDistribution* workload);
+
+private:
+    struct OutMessage {
+        Message msg;
+        int64_t nextOffset = 0;   // next fresh byte
+        int64_t ackedBytes = 0;
+        double cwnd = 0;          // bytes
+        double markedEwma = 0;    // DCTCP alpha
+        uint32_t acksInRtt = 0;
+        uint32_t marksInRtt = 0;
+        Time rttStart = 0;
+
+        int64_t inFlight() const { return nextOffset - ackedBytes; }
+        bool sendable() const {
+            return nextOffset < msg.length && inFlight() < static_cast<int64_t>(cwnd);
+        }
+    };
+
+    struct InMessage {
+        Message meta;
+        Reassembly reasm;
+        DeliveryInfo acc;
+        InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+    };
+
+    uint8_t priorityForBytesSent(int64_t bytesSent) const;
+    void onAck(const Packet& p);
+
+    HostServices& host_;
+    PiasConfig cfg_;
+    std::map<MsgId, OutMessage> out_;
+    std::map<MsgId, InMessage> in_;
+    size_t rrCursor_ = 0;
+};
+
+}  // namespace homa

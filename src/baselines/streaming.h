@@ -1,0 +1,74 @@
+// Connection-oriented byte-stream transport (TCP / InfRC stand-in, §5.1).
+//
+// Messages multiplexed onto a per-destination stream serialize in FIFO
+// order: a short message queued behind a long one waits for all of it —
+// the head-of-line blocking that costs streaming transports 100x on tail
+// latency (Figure 8's InfRC and TCP curves). Multi-connection mode gives
+// every in-flight message its own connection (the paper's "-MC" variants),
+// removing sender HOL but still lacking priorities and SRPT.
+//
+// Delivery respects stream order within a connection (a real byte stream
+// cannot deliver message N+1 before N). Data travels at one priority.
+// A finite window adds per-packet ACK clocking (TCP flow control); window
+// 0 means unbounded in-flight (InfRC reliable connections).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace homa {
+
+struct StreamingConfig {
+    bool multiConnection = false;  // one connection per message vs per peer
+    int64_t windowBytes = 0;       // 0 = unbounded (no ACKs needed)
+};
+
+class StreamingTransport final : public Transport {
+public:
+    StreamingTransport(HostServices& host, StreamingConfig cfg);
+
+    void sendMessage(const Message& m) override;
+    void handlePacket(const Packet& p) override;
+    std::optional<Packet> pullPacket() override;
+
+    static TransportFactory factory(StreamingConfig cfg);
+
+private:
+    // Sender side: a connection is an ordered queue of messages; bytes of
+    // message k+1 are only sent after all bytes of message k.
+    struct Connection {
+        uint64_t connId;
+        HostId peer;
+        std::deque<Message> sendQueue;
+        int64_t headSent = 0;    // bytes of the head message already sent
+        int64_t inFlight = 0;    // unacked bytes (windowed mode)
+    };
+
+    // Receiver side: per-connection in-order delivery.
+    struct InboundMessage {
+        Message meta;
+        Reassembly reasm;
+        DeliveryInfo acc;
+        InboundMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+    };
+    struct InboundStream {
+        std::deque<InboundMessage> messages;
+    };
+
+    Connection* pickConnection();
+    void tryDeliver(InboundStream& s);
+
+    HostServices& host_;
+    StreamingConfig cfg_;
+    std::vector<Connection> connections_;
+    size_t rrCursor_ = 0;
+    uint32_t nextConn_ = 1;
+    // Receiver streams keyed by (source host, connection id).
+    std::map<std::pair<HostId, uint32_t>, InboundStream> inbound_;
+};
+
+}  // namespace homa

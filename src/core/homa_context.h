@@ -1,0 +1,46 @@
+// Shared state between the Homa sender and receiver halves.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "core/homa_config.h"
+#include "core/unsched.h"
+#include "transport/transport.h"
+
+namespace homa {
+
+struct HomaContext {
+    HostServices& host;
+    HomaConfig cfg;
+    int64_t rttBytes;            // resolved (config override or topology)
+    PriorityAllocation alloc;    // current unsched/sched split + cutoffs
+
+    /// Map a logical priority (0..logicalPriorities-1) onto the wire
+    /// levels. The HomaPx experiments collapse adjacent levels; the
+    /// internal algorithm is untouched (§5.1).
+    uint8_t wirePriority(int logical) const {
+        const int levels = cfg.logicalPriorities;
+        const int x = std::clamp(cfg.wirePriorities, 1, kPriorityLevels);
+        const int mapped = logical * x / levels;
+        return static_cast<uint8_t>(std::clamp(mapped, 0, x - 1));
+    }
+
+    uint8_t controlPriority() const {
+        // "All packet types except DATA are sent at highest priority."
+        return static_cast<uint8_t>(
+            std::clamp(cfg.wirePriorities, 1, kPriorityLevels) - 1);
+    }
+
+    /// Blind-transmit limit for a message (smaller for incast-marked ones).
+    int64_t unschedLimitFor(uint32_t length, uint16_t flags) const {
+        int64_t limit = cfg.unschedBytesLimit > 0 ? cfg.unschedBytesLimit
+                                                  : rttBytes;
+        if (cfg.incastControl && (flags & kFlagIncastMark) != 0) {
+            limit = std::min(limit, cfg.incastUnschedBytes);
+        }
+        return std::min<int64_t>(limit, length);
+    }
+};
+
+}  // namespace homa

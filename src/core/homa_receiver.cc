@@ -1,0 +1,212 @@
+#include "core/homa_receiver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+HomaReceiver::HomaReceiver(HomaContext& ctx, DeliverFn deliver)
+    : ctx_(ctx),
+      deliver_(std::move(deliver)),
+      timeoutScan_(ctx.host.loop(), [this] { checkTimeouts(); }) {}
+
+bool HomaReceiver::recentlyCompleted(MsgId id) const {
+    return completedSet_.count(id) != 0;
+}
+
+void HomaReceiver::noteCompleted(MsgId id) {
+    completedSet_.insert(id);
+    completedFifo_.push_back(id);
+    while (completedFifo_.size() > 8192) {
+        completedSet_.erase(completedFifo_.front());
+        completedFifo_.pop_front();
+    }
+}
+
+void HomaReceiver::handleData(const Packet& p) {
+    if (recentlyCompleted(p.msg)) return;  // duplicate tail of a done message
+
+    auto it = in_.find(p.msg);
+    if (it == in_.end()) {
+        Message meta;
+        meta.id = p.msg;
+        meta.src = p.src;
+        meta.dst = p.dst;
+        meta.length = p.messageLength;
+        meta.flags = p.flags;
+        meta.created = p.created;  // stamped by the sending host
+        InMessage im(meta, p.messageLength);
+        // The sender transmitted its unscheduled region blindly; those
+        // bytes count as already granted.
+        im.grantedTo = ctx_.unschedLimitFor(p.messageLength, p.flags);
+        it = in_.emplace(p.msg, std::move(im)).first;
+    }
+
+    InMessage& im = it->second;
+    im.lastActivity = ctx_.host.loop().now();
+    const uint32_t fresh = im.reasm.addRange(p.offset, p.length);
+    im.acc.packetsReceived++;
+    im.acc.duplicateBytes += p.length - fresh;
+    im.acc.queueingDelay += p.queueingDelay;
+    im.acc.preemptionLag += p.preemptionLag;
+
+    if (im.reasm.complete()) {
+        Message meta = im.meta;
+        DeliveryInfo info = im.acc;
+        info.completed = ctx_.host.loop().now();
+        noteCompleted(p.msg);
+        in_.erase(it);
+        updateGrants();  // a finished message may unblock a withheld one
+        deliver_(meta, info);
+        return;
+    }
+    updateGrants();
+    if (!timeoutScan_.armed()) timeoutScan_.schedule(ctx_.cfg.resendTimeout / 2);
+}
+
+void HomaReceiver::handleBusy(const Packet& p) {
+    auto it = in_.find(p.msg);
+    if (it == in_.end()) return;
+    it->second.lastActivity = ctx_.host.loop().now();
+    it->second.resends = 0;  // the sender is alive, just occupied
+}
+
+void HomaReceiver::updateGrants() {
+    // Messages that still need grant progress, SRPT order (fewest bytes
+    // remaining to receive first).
+    std::vector<InMessage*> needy;
+    needy.reserve(in_.size());
+    for (auto& [id, im] : in_) {
+        if (im.grantedTo < static_cast<int64_t>(im.reasm.messageLength())) {
+            needy.push_back(&im);
+        }
+    }
+    std::sort(needy.begin(), needy.end(), [](const InMessage* a, const InMessage* b) {
+        if (a->remaining() != b->remaining()) return a->remaining() < b->remaining();
+        return a->meta.id < b->meta.id;  // deterministic tie-break
+    });
+
+    const int degree = ctx_.cfg.overcommitDegree > 0 ? ctx_.cfg.overcommitDegree
+                                                     : ctx_.alloc.schedLevels;
+    int active = std::min<int>(degree, static_cast<int>(needy.size()));
+
+    // §5.1 future-work extension: the oldest message always stays active
+    // (with a reduced grant window) so pure SRPT cannot starve it forever.
+    InMessage* reserved = nullptr;
+    if (ctx_.cfg.oldestReservation > 0 && !needy.empty()) {
+        reserved = *std::min_element(
+            needy.begin(), needy.end(), [](const InMessage* a, const InMessage* b) {
+                return a->meta.created < b->meta.created;
+            });
+        const bool alreadyActive =
+            std::find(needy.begin(), needy.begin() + active, reserved) !=
+            needy.begin() + active;
+        if (!alreadyActive) {
+            // Give it the last active slot.
+            std::iter_swap(std::find(needy.begin(), needy.end(), reserved),
+                           needy.begin() + active - 1);
+        }
+    }
+    withheld_ = static_cast<int>(needy.size()) - active;
+
+    auto grantUpTo = [&](InMessage& im, int64_t window, int logical) {
+        const int64_t target = std::min<int64_t>(
+            im.reasm.messageLength(), im.reasm.receivedBytes() + window);
+        const bool extends = target > im.grantedTo;
+        // Re-announce even without new bytes when the scheduled priority
+        // changed and granted data is still in flight (§3.4: the receiver
+        // sets the priority of each scheduled packet dynamically; a stale
+        // low priority would otherwise stick to the rest of the window).
+        const bool reprioritize =
+            logical != im.lastGrantPriority &&
+            im.grantedTo > static_cast<int64_t>(im.reasm.receivedBytes());
+        if (!extends && !reprioritize) return;
+        Packet g;
+        g.type = PacketType::Grant;
+        g.dst = im.meta.src;
+        g.msg = im.meta.id;
+        g.grantOffset = static_cast<uint32_t>(std::max<int64_t>(target, im.grantedTo));
+        g.grantPriority = static_cast<uint8_t>(logical);
+        g.priority = ctx_.controlPriority();
+        ctx_.host.pushPacket(g);
+        im.grantedTo = std::max(im.grantedTo, target);
+        im.lastGrantPriority = logical;
+    };
+
+    for (int i = 0; i < active; i++) {
+        InMessage& im = *needy[i];
+        // Lowest-available-level policy (Figure 5): with k active messages
+        // they occupy logical levels 0..k-1; the shortest (i = 0) gets the
+        // highest of those. Extra active messages (degree > sched levels)
+        // share the top scheduled level.
+        int logical = std::min(active - 1 - i, ctx_.alloc.schedLevels - 1);
+        int64_t window = ctx_.rttBytes;
+        if (&im == reserved && active > 1) {
+            // Dedicating bandwidth in a priority system means sending at a
+            // priority that will actually be served: the reserved message
+            // trickles fraction*RTTbytes per RTT at the *top* scheduled
+            // level, i.e. ~fraction of the downlink regardless of SRPT.
+            window = std::max<int64_t>(
+                kMaxPayload,
+                static_cast<int64_t>(ctx_.cfg.oldestReservation *
+                                     static_cast<double>(ctx_.rttBytes)));
+            logical = ctx_.alloc.schedLevels - 1;
+        }
+        grantUpTo(im, window, logical);
+    }
+}
+
+void HomaReceiver::checkTimeouts() {
+    const Time now = ctx_.host.loop().now();
+    bool anyIncomplete = false;
+    for (auto it = in_.begin(); it != in_.end();) {
+        InMessage& im = it->second;
+        // Only messages we are *expecting* data from can time out: granted
+        // (or unscheduled) bytes outstanding. A message the receiver is
+        // intentionally withholding grants from is silent by design.
+        const bool expecting =
+            im.grantedTo > static_cast<int64_t>(im.reasm.receivedBytes());
+        // Exponential backoff: under load, low-priority data can sit
+        // queued for many milliseconds behind higher-priority messages;
+        // only sustained *silence* (no data, no BUSY) should abort.
+        const Duration patience =
+            ctx_.cfg.resendTimeout * (1ll << std::min(im.resends, 5));
+        if (!expecting || now - im.lastActivity < patience) {
+            anyIncomplete = true;
+            ++it;
+            continue;
+        }
+        if (im.resends >= ctx_.cfg.maxResends) {
+            aborted_++;
+            it = in_.erase(it);
+            continue;
+        }
+        // First missing range, clipped to what was actually granted — a
+        // RESEND must never ask for (and thereby implicitly authorize)
+        // bytes the receiver has not scheduled.
+        auto gap = im.reasm.firstGap();
+        assert(gap.has_value());
+        const int64_t gapEnd =
+            std::min<int64_t>(gap->first + gap->second, im.grantedTo);
+        if (gapEnd <= gap->first) {
+            ++it;
+            continue;
+        }
+        Packet r;
+        r.type = PacketType::Resend;
+        r.dst = im.meta.src;
+        r.msg = im.meta.id;
+        r.offset = gap->first;
+        r.length = static_cast<uint32_t>(gapEnd - gap->first);
+        r.priority = ctx_.controlPriority();
+        ctx_.host.pushPacket(r);
+        im.resends++;
+        im.lastActivity = now;
+        resendsSent_++;
+        anyIncomplete = true;
+        ++it;
+    }
+    if (anyIncomplete) timeoutScan_.schedule(ctx_.cfg.resendTimeout / 2);
+}
+
+}  // namespace homa

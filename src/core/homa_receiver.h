@@ -1,0 +1,77 @@
+// Receiver side of Homa: grant scheduling, overcommitment, priorities.
+//
+// The receiver is the brain of the protocol (§3.3-§3.5). On every DATA
+// arrival it recomputes the active set — the `overcommitDegree` incomplete
+// messages with the fewest remaining bytes — keeps RTTbytes granted but
+// unreceived for each, and assigns each active message its own scheduled
+// priority level, using the *lowest* available levels so that a newly
+// arriving shorter message can preempt via a higher level (Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/homa_context.h"
+#include "sim/event_loop.h"
+#include "transport/message.h"
+
+namespace homa {
+
+class HomaReceiver {
+public:
+    using DeliverFn =
+        std::function<void(const Message&, const DeliveryInfo&)>;
+
+    HomaReceiver(HomaContext& ctx, DeliverFn deliver);
+
+    void handleData(const Packet& p);
+    void handleBusy(const Packet& p);
+
+    /// True when an incomplete inbound message is being denied grants by
+    /// the overcommitment limit (Figure 16's "withheld" condition).
+    bool hasWithheldWork() const { return withheld_ > 0; }
+
+    size_t incompleteMessages() const { return in_.size(); }
+    uint64_t abortedMessages() const { return aborted_; }
+    uint64_t resendsSent() const { return resendsSent_; }
+
+private:
+    struct InMessage {
+        Message meta;
+        Reassembly reasm;
+        int64_t grantedTo = 0;
+        int lastGrantPriority = -1;  // last scheduled level announced
+        Time lastActivity = 0;
+        int resends = 0;
+        DeliveryInfo acc;
+
+        InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
+        int64_t remaining() const {
+            return static_cast<int64_t>(reasm.messageLength()) -
+                   reasm.receivedBytes();
+        }
+    };
+
+    void updateGrants();
+    void checkTimeouts();
+    bool recentlyCompleted(MsgId id) const;
+    void noteCompleted(MsgId id);
+
+    HomaContext& ctx_;
+    DeliverFn deliver_;
+    std::map<MsgId, InMessage> in_;
+    int withheld_ = 0;
+    uint64_t aborted_ = 0;
+    uint64_t resendsSent_ = 0;
+
+    // Duplicate suppression after completion (retransmitted tails).
+    std::unordered_set<MsgId> completedSet_;
+    std::deque<MsgId> completedFifo_;
+
+    Timer timeoutScan_;
+};
+
+}  // namespace homa

@@ -1,0 +1,71 @@
+#include "core/stream_adapter.h"
+
+#include <cassert>
+
+namespace homa {
+
+StreamMux::StreamMux(Network& net, HostId self) : net_(net), self_(self) {
+    net_.host(self_).transport().setDeliveryCallback(
+        [this](const Message& m, const DeliveryInfo&) { onDelivered(m); });
+}
+
+uint32_t StreamMux::openStream(HostId peer) {
+    const uint32_t id = nextStreamId_++;
+    assert(id <= kStreamIdMask);
+    out_.emplace(id, OutStream{peer, 0, 0});
+    return id;
+}
+
+void StreamMux::write(uint32_t streamId, uint32_t bytes) {
+    auto it = out_.find(streamId);
+    assert(it != out_.end());
+    OutStream& os = it->second;
+    while (bytes > 0) {
+        const uint32_t chunk = std::min(bytes, chunkBytes);
+        Message m;
+        m.id = streamMessageId(self_, streamId, os.nextSeq++);
+        m.src = self_;
+        m.dst = os.peer;
+        m.length = chunk;
+        net_.sendMessage(m);
+        os.written += chunk;
+        bytes -= chunk;
+    }
+}
+
+void StreamMux::onDelivered(const Message& m) {
+    const uint32_t sid = streamIdOf(m.id);
+    const uint64_t seq = streamSeqOf(m.id);
+    InStream& is = in_[{m.src, sid}];
+    if (seq < is.nextSeq || is.pending.count(seq) != 0) {
+        return;  // duplicate (at-least-once re-delivery): discard (§3.8)
+    }
+    is.pending.emplace(seq, m.length);
+    // Deliver the in-order prefix.
+    while (!is.pending.empty() && is.pending.begin()->first == is.nextSeq) {
+        const uint32_t len = is.pending.begin()->second;
+        is.pending.erase(is.pending.begin());
+        is.nextSeq++;
+        is.delivered += len;
+        if (onRead_) {
+            // Synthesize a deterministic payload pattern for the app.
+            std::vector<uint8_t> data(len);
+            for (uint32_t i = 0; i < len; i++) {
+                data[i] = static_cast<uint8_t>((seq + i) & 0xFF);
+            }
+            onRead_(m.src, sid, data);
+        }
+    }
+}
+
+uint64_t StreamMux::bytesRead(HostId from, uint32_t streamId) const {
+    auto it = in_.find({from, streamId});
+    return it == in_.end() ? 0 : it->second.delivered;
+}
+
+uint64_t StreamMux::bytesWritten(uint32_t streamId) const {
+    auto it = out_.find(streamId);
+    return it == out_.end() ? 0 : it->second.written;
+}
+
+}  // namespace homa

@@ -1,0 +1,67 @@
+// Priority allocation for unscheduled packets (§3.4, Figure 4).
+//
+// A receiver splits the 8 levels between unscheduled and scheduled traffic
+// in proportion to the unscheduled fraction of its incoming bytes, then
+// picks message-size cutoffs so each unscheduled level carries an equal
+// share of unscheduled bytes (smaller messages on higher levels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/homa_config.h"
+#include "workload/distribution.h"
+
+namespace homa {
+
+struct PriorityAllocation {
+    int logicalLevels = 8;
+    int unschedLevels = 1;
+    int schedLevels = 7;
+
+    /// Ascending size cutoffs, one fewer than unschedLevels: a message of
+    /// length <= cutoffs[i] sends its unscheduled bytes at logical priority
+    /// (top - i); longer than all cutoffs -> the lowest unscheduled level.
+    std::vector<uint32_t> cutoffs;
+
+    /// Logical priority for the unscheduled bytes of a message.
+    int unschedPriorityFor(uint32_t messageLength) const;
+
+    /// Lowest logical level reserved for unscheduled traffic.
+    int lowestUnschedLevel() const { return logicalLevels - unschedLevels; }
+};
+
+/// Compute the allocation from a known workload distribution; this is what
+/// the paper's implementation did ("priorities were precomputed based on
+/// knowledge of the benchmark workload").
+PriorityAllocation computeAllocation(const SizeDistribution& dist,
+                                     const HomaConfig& cfg, int64_t rttBytes);
+
+/// Online variant: a receiver measures its own incoming message sizes and
+/// recomputes the allocation periodically (§3.4 "uses recent traffic
+/// patterns"). Bounded memory: keeps a reservoir of recent sizes.
+class TrafficMeter {
+public:
+    explicit TrafficMeter(size_t reservoirSize = 4096, uint64_t seed = 7);
+
+    void recordMessage(uint32_t length);
+    size_t observed() const { return observed_; }
+
+    /// Allocation from the measured sizes; falls back to `fallback` until
+    /// enough messages (>= 100) have been seen.
+    PriorityAllocation allocate(const HomaConfig& cfg, int64_t rttBytes,
+                                const PriorityAllocation& fallback) const;
+
+private:
+    std::vector<uint32_t> reservoir_;
+    size_t reservoirCapacity_ = 0;
+    size_t observed_ = 0;
+    Rng rng_;
+};
+
+/// Shared core: allocation from an explicit sample of message sizes.
+PriorityAllocation allocationFromSample(std::vector<uint32_t> sizes,
+                                        const HomaConfig& cfg,
+                                        int64_t rttBytes);
+
+}  // namespace homa

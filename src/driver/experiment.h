@@ -1,0 +1,102 @@
+// Experiment harness: build a network + protocol + workload, run, report.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "baselines/basic_transport.h"
+#include "baselines/ndp.h"
+#include "baselines/pfabric.h"
+#include "baselines/phost.h"
+#include "baselines/pias.h"
+#include "baselines/streaming.h"
+#include "core/homa_transport.h"
+#include "driver/oracle.h"
+#include "stats/counters.h"
+#include "stats/slowdown.h"
+#include "workload/generator.h"
+
+namespace homa {
+
+enum class Protocol {
+    Homa,
+    Basic,
+    PHost,
+    Pias,
+    PFabric,
+    Ndp,
+    StreamSC,  // single connection per peer (InfRC-like, infinite window)
+    StreamMC,  // connection per message (InfRC-MC / TCP-MC-like)
+};
+
+const char* protocolName(Protocol p);
+
+struct ProtocolConfig {
+    Protocol kind = Protocol::Homa;
+    HomaConfig homa;               // Homa and Basic
+    PHostConfig phost;
+    PiasConfig pias;
+    PFabricConfig pfabric;
+    NdpConfig ndp;
+    StreamingConfig streaming;
+    /// Seed unscheduled priorities / PIAS thresholds from the workload
+    /// (paper §4); false = Homa adapts online.
+    bool precomputePriorities = true;
+};
+
+/// Transport factory + the switch queue discipline the protocol expects.
+TransportFactory makeTransportFactory(const ProtocolConfig& proto,
+                                      const NetworkConfig& net,
+                                      const SizeDistribution* workload);
+std::function<std::unique_ptr<Qdisc>()> switchQdiscFor(
+    const ProtocolConfig& proto);
+
+struct ExperimentConfig {
+    NetworkConfig net = NetworkConfig::fatTree144();
+    ProtocolConfig proto;
+    TrafficConfig traffic;
+    /// Fraction of the generation window treated as warm-up (excluded from
+    /// all statistics).
+    double warmupFraction = 0.2;
+    /// After generation stops, let in-flight messages finish for this long.
+    Duration drainGrace = milliseconds(50);
+    bool measureWastedBandwidth = false;
+};
+
+struct ExperimentResult {
+    uint64_t generated = 0;
+    uint64_t delivered = 0;        // within the measurement window
+    uint64_t deliveredTotal = 0;   // including warm-up and drain
+    std::unique_ptr<SlowdownTracker> slowdown;
+
+    Time windowStart = 0;
+    Time windowEnd = 0;
+
+    double downlinkUtilization = 0;  // wire bytes / capacity in window
+    double wastedBandwidth = 0;      // Figure 16 metric
+    QueueOccupancy torUp, aggrDown, torDown;      // Table 1
+    std::array<double, kPriorityLevels> prioUsage{};  // Figure 21
+    uint64_t switchDrops = 0;
+    uint64_t switchTrims = 0;
+
+    /// True when the protocol kept up with the offered load: the backlog
+    /// of undelivered messages at the end of generation is bounded.
+    bool keptUp = false;
+};
+
+ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+/// Capacity search for Figure 15: highest load (percent, step `stepPct`)
+/// the protocol sustains (keptUp) for the workload.
+double findMaxLoad(ExperimentConfig base, double startPct = 40,
+                   double stepPct = 5, double maxPct = 95);
+
+/// Bench scale knob: "quick" (default) or "full" via HOMA_BENCH_SCALE.
+struct BenchScale {
+    Duration genWindow;   // traffic generation duration
+    int hostsScale;       // divide the topology for heavy workloads (>=1)
+    static BenchScale fromEnv();
+};
+
+}  // namespace homa

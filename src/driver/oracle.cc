@@ -1,0 +1,76 @@
+#include "driver/oracle.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace homa {
+
+Duration Oracle::computeOneWay(uint32_t size, bool intraRack) const {
+    // Split into packets exactly like the transports do.
+    const int packets =
+        std::max(1, static_cast<int>((size + kMaxPayload - 1) / kMaxPayload));
+    std::vector<int64_t> wire(packets);
+    uint32_t left = size;
+    for (int i = 0; i < packets; i++) {
+        const uint32_t payload = std::min<uint32_t>(left, kMaxPayload);
+        wire[i] = payload + kHeaderBytes + kFrameOverhead;
+        left -= payload;
+    }
+
+    // Hop bandwidths along the path.
+    std::vector<Bandwidth> hops = {cfg_.hostLink};
+    if (!cfg_.singleRack() && !intraRack) {
+        hops.push_back(cfg_.coreLink);
+        hops.push_back(cfg_.coreLink);
+    }
+    hops.push_back(cfg_.hostLink);
+
+    // done[i] = time packet i has fully left hop k (store-and-forward:
+    // hop k+1 starts after done[i] + switchDelay).
+    //
+    // On the single-rack cluster there is one path, so packets share every
+    // link FIFO. On the fat-tree, per-packet spraying lets packets travel
+    // independent core paths; the sender link imposes the only ordering
+    // (its FIFO spacing is >= every downstream serialization time, so
+    // shared final-hop contention cannot delay the completion-determining
+    // packet). The event simulator confirms both models exactly.
+    std::vector<Duration> done(packets, 0);
+    Duration linkFree = 0;
+    for (int i = 0; i < packets; i++) {
+        done[i] = linkFree + hops[0].serialize(wire[i]);
+        linkFree = done[i];
+    }
+    const bool sharedPath = cfg_.singleRack() || intraRack;
+    for (size_t k = 1; k < hops.size(); k++) {
+        linkFree = 0;
+        for (int i = 0; i < packets; i++) {
+            Duration start = done[i] + cfg_.switchDelay;
+            if (sharedPath) start = std::max(start, linkFree);
+            done[i] = start + hops[k].serialize(wire[i]);
+            linkFree = done[i];
+        }
+    }
+    Duration completion = 0;
+    for (int i = 0; i < packets; i++) completion = std::max(completion, done[i]);
+    return completion + cfg_.softwareDelay;
+}
+
+Duration Oracle::bestOneWay(uint32_t size, bool intraRack) const {
+    const auto key = std::make_pair(size, intraRack);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const Duration d = computeOneWay(size, intraRack);
+    if (cache_.size() > 100000) cache_.clear();
+    cache_[key] = d;
+    return d;
+}
+
+Duration Oracle::bestEchoRpc(uint32_t size) const {
+    // The response generation is covered by the receiver software delay
+    // already included in each one-way time.
+    return 2 * bestOneWay(size);
+}
+
+}  // namespace homa

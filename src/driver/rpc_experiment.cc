@@ -1,0 +1,150 @@
+#include "driver/rpc_experiment.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace homa {
+
+RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
+    const SizeDistribution& dist = workload(cfg.workload);
+
+    NetworkConfig netCfg = cfg.net;
+    if (!netCfg.switchQdisc) netCfg.switchQdisc = switchQdiscFor(cfg.proto);
+    Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist));
+    Oracle oracle(netCfg);
+
+    std::vector<std::unique_ptr<RpcEndpoint>> endpoints;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        endpoints.push_back(std::make_unique<RpcEndpoint>(net, h));
+    }
+
+    RpcExperimentResult result;
+    result.slowdown = std::make_unique<SlowdownTracker>(dist, oracle.echoRpcFn());
+
+    const Time windowStart = static_cast<Time>(
+        cfg.warmupFraction * static_cast<double>(cfg.stop));
+
+    // Each client's uplink carries `load` of its bandwidth in requests (and
+    // symmetric responses on its downlink), matching §5.1's calibration.
+    const double psPerByte = static_cast<double>(netCfg.hostLink.psPerByte);
+    const Duration meanGap = static_cast<Duration>(
+        std::llround(dist.meanWireBytes() * psPerByte / cfg.load));
+
+    const int servers = net.hostCount() - cfg.clients;
+    assert(servers > 0);
+    Rng master(cfg.seed);
+    uint64_t issuedInWindow = 0;
+    uint64_t completedInWindow = 0;
+
+    struct ClientState {
+        Rng rng;
+        explicit ClientState(Rng r) : rng(r) {}
+    };
+    std::vector<ClientState> clients;
+    for (int c = 0; c < cfg.clients; c++) clients.emplace_back(master.fork());
+
+    std::function<void(int)> issueNext = [&](int c) {
+        if (net.loop().now() >= cfg.stop) return;
+        ClientState& st = clients[c];
+        const uint32_t size = dist.sample(st.rng);
+        const HostId server =
+            static_cast<HostId>(cfg.clients + st.rng.below(servers));
+        const Time issuedAt = net.loop().now();
+        const bool inWindow = issuedAt >= windowStart;
+        if (inWindow) issuedInWindow++;
+        endpoints[c]->call(server, size,
+                           [&, inWindow](RpcId, uint32_t reqSize, uint32_t,
+                                         Duration elapsed) {
+                               if (!inWindow) return;
+                               completedInWindow++;
+                               result.slowdown->record(reqSize, elapsed);
+                           });
+        const Duration gap = static_cast<Duration>(
+            st.rng.exponential(toSeconds(meanGap)) *
+            static_cast<double>(kSecond));
+        net.loop().after(std::max<Duration>(1, gap), [&, c] { issueNext(c); });
+    };
+    for (int c = 0; c < cfg.clients; c++) {
+        const Duration phase = static_cast<Duration>(
+            clients[c].rng.exponential(toSeconds(meanGap)) *
+            static_cast<double>(kSecond));
+        net.loop().at(phase, [&, c] { issueNext(c); });
+    }
+
+    net.loop().runUntil(cfg.stop + cfg.drainGrace);
+
+    result.issued = issuedInWindow;
+    result.completed = completedInWindow;
+    for (const auto& ep : endpoints) {
+        result.retries += ep->stats().retries;
+        result.reexecutions += ep->stats().reexecutions;
+    }
+    result.keptUp = issuedInWindow > 0 &&
+                    static_cast<double>(completedInWindow) >=
+                        0.99 * static_cast<double>(issuedInWindow);
+    return result;
+}
+
+IncastResult runIncastExperiment(int concurrent, bool incastControl,
+                                 uint32_t responseBytes, int totalRpcs,
+                                 uint64_t seed) {
+    NetworkConfig netCfg = NetworkConfig::singleRack16();
+    ProtocolConfig proto;
+    proto.homa.incastControl = incastControl;
+    netCfg.switchQdisc = [] {
+        // Finite switch buffers so that un-controlled incast actually drops
+        // packets (the effect Figure 10 demonstrates). 2 MB per port is
+        // representative of a shallow-buffered 10G TOR: it holds ~200
+        // un-controlled 10KB responses, or several thousand incast-capped
+        // (~320B unscheduled) ones.
+        StrictPriorityOptions o;
+        o.capBytes = 2 << 20;
+        return std::make_unique<StrictPriorityQdisc>(o);
+    };
+    const SizeDistribution& dist = workload(WorkloadId::W3);  // unused sizes
+    Network net(netCfg, makeTransportFactory(proto, netCfg, &dist));
+
+    std::vector<std::unique_ptr<RpcEndpoint>> endpoints;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        endpoints.push_back(std::make_unique<RpcEndpoint>(net, h));
+        endpoints.back()->setHandler(
+            [responseBytes](const Message&) { return responseBytes; });
+    }
+    // The experiment *creates* the incast deliberately; let the mechanism,
+    // not the client-side cap, decide (threshold stays at the default 25).
+
+    if (totalRpcs <= 0) totalRpcs = std::max(4 * concurrent, 2000);
+
+    Rng rng(seed);
+    IncastResult result;
+    int issued = 0;
+    Time firstIssue = -1, lastResponse = 0;
+    int64_t receivedBytes = 0;
+
+    std::function<void()> issueOne = [&] {
+        if (issued >= totalRpcs) return;
+        issued++;
+        const HostId server = static_cast<HostId>(1 + rng.below(15));
+        if (firstIssue < 0) firstIssue = net.loop().now();
+        endpoints[0]->call(server, 32,
+                           [&](RpcId, uint32_t, uint32_t respSize, Duration) {
+                               receivedBytes += respSize;
+                               result.completed++;
+                               lastResponse = net.loop().now();
+                               issueOne();  // keep `concurrent` outstanding
+                           });
+    };
+    for (int i = 0; i < concurrent; i++) issueOne();
+
+    net.loop().run();
+
+    result.retries = endpoints[0]->stats().retries;
+    const Duration elapsed = lastResponse - firstIssue;
+    if (elapsed > 0) {
+        result.throughputGbps = static_cast<double>(receivedBytes) * 8.0 /
+                                (toSeconds(elapsed) * 1e9);
+    }
+    return result;
+}
+
+}  // namespace homa

@@ -1,0 +1,55 @@
+// Echo-RPC experiment harness — the implementation measurements of §5.1.
+//
+// Mirrors the paper's CloudLab setup: a single-switch cluster where client
+// hosts issue echo RPCs (send `size` bytes, the server returns them) to
+// random servers, with Poisson arrivals calibrated to a target load and
+// RPC sizes drawn from a workload. Slowdown is measured against the
+// best-case RPC time on an unloaded network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rpc.h"
+#include "driver/experiment.h"
+
+namespace homa {
+
+struct RpcExperimentConfig {
+    NetworkConfig net = NetworkConfig::singleRack16();
+    ProtocolConfig proto;
+    WorkloadId workload = WorkloadId::W3;
+    double load = 0.8;
+    uint64_t seed = 17;
+    Time stop = milliseconds(20);
+    double warmupFraction = 0.2;
+    Duration drainGrace = milliseconds(30);
+    int clients = 8;  // hosts [0, clients) are clients, the rest servers
+};
+
+struct RpcExperimentResult {
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t retries = 0;
+    uint64_t reexecutions = 0;
+    std::unique_ptr<SlowdownTracker> slowdown;  // vs best echo RPC time
+    bool keptUp = false;
+};
+
+RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg);
+
+/// Figure 10: one client (host 0) issues `concurrent` RPCs in parallel to
+/// the other 15 hosts (tiny request, `responseBytes` response), refilling
+/// as responses arrive until `totalRpcs` complete. Returns goodput in Gbps
+/// at the client downlink and the count of RPCs that needed client retries.
+struct IncastResult {
+    double throughputGbps = 0;
+    uint64_t completed = 0;
+    uint64_t retries = 0;
+};
+
+IncastResult runIncastExperiment(int concurrent, bool incastControl,
+                                 uint32_t responseBytes = 10000,
+                                 int totalRpcs = 0, uint64_t seed = 3);
+
+}  // namespace homa

@@ -1,0 +1,47 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace homa {
+
+void EventLoop::at(Time t, Callback fn) {
+    if (t < now_) t = now_;
+    heap_.push(Event{t, nextSeq_++, std::move(fn)});
+}
+
+bool EventLoop::runOne() {
+    if (heap_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately and never touch the moved-from element.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    executed_++;
+    ev.fn();
+    return true;
+}
+
+uint64_t EventLoop::run(uint64_t limit) {
+    uint64_t n = 0;
+    while (n < limit && runOne()) n++;
+    return n;
+}
+
+void EventLoop::runUntil(Time t) {
+    while (!heap_.empty() && heap_.top().time <= t) runOne();
+    if (now_ < t) now_ = t;
+}
+
+void Timer::schedule(Duration d) {
+    state_->generation++;
+    const uint64_t expected = state_->generation;
+    armed_ = true;
+    deadline_ = loop_.now() + d;
+    loop_.after(d, [this, state = state_, expected] {
+        if (state->generation != expected) return;  // cancelled or re-armed
+        armed_ = false;
+        fn_();
+    });
+}
+
+}  // namespace homa

@@ -1,0 +1,96 @@
+// Discrete-event execution core.
+//
+// A binary-heap calendar of (time, sequence) ordered callbacks. Sequence
+// numbers break ties so that two events scheduled for the same instant run
+// in scheduling order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace homa {
+
+class EventLoop {
+public:
+    using Callback = std::function<void()>;
+
+    /// Current simulated time.
+    Time now() const { return now_; }
+
+    /// Schedule `fn` to run at absolute time `t` (clamped to now()).
+    void at(Time t, Callback fn);
+
+    /// Schedule `fn` to run `d` after now().
+    void after(Duration d, Callback fn) { at(now_ + d, std::move(fn)); }
+
+    /// Run the earliest pending event; returns false if none are pending.
+    bool runOne();
+
+    /// Run events until the queue is empty or `limit` events have run.
+    /// Returns the number of events executed.
+    uint64_t run(uint64_t limit = UINT64_MAX);
+
+    /// Run all events with time <= t, then advance the clock to t.
+    void runUntil(Time t);
+
+    size_t pendingEvents() const { return heap_.size(); }
+    uint64_t executedEvents() const { return executed_; }
+
+private:
+    struct Event {
+        Time time;
+        uint64_t seq;
+        Callback fn;
+        bool operator>(const Event& o) const {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Time now_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+/// A cancellable, re-armable one-shot timer built on EventLoop.
+///
+/// Cancellation is by generation counter: stale heap entries fire but see a
+/// newer generation and do nothing. This keeps EventLoop's heap simple.
+class Timer {
+public:
+    Timer(EventLoop& loop, std::function<void()> fn)
+        : loop_(loop), fn_(std::move(fn)), state_(std::make_shared<State>()) {}
+
+    ~Timer() { cancel(); }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /// (Re)arm the timer to fire `d` from now; cancels any prior arming.
+    void schedule(Duration d);
+
+    void cancel() {
+        state_->generation++;
+        armed_ = false;
+    }
+
+    bool armed() const { return armed_; }
+    Time deadline() const { return deadline_; }
+
+private:
+    struct State {
+        uint64_t generation = 0;
+    };
+
+    EventLoop& loop_;
+    std::function<void()> fn_;
+    std::shared_ptr<State> state_;
+    bool armed_ = false;
+    Time deadline_ = 0;
+};
+
+}  // namespace homa

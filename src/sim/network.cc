@@ -1,0 +1,118 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace homa {
+
+std::unique_ptr<Qdisc> Network::makeQdisc() const {
+    if (cfg_.switchQdisc) return cfg_.switchQdisc();
+    return std::make_unique<StrictPriorityQdisc>();
+}
+
+Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport)
+    : cfg_(cfg), timings_(NetworkTimings::compute(cfg)), rng_(cfg.seed) {
+    const int nHosts = cfg_.hostCount();
+    const int perRack = cfg_.hostsPerRack;
+    const bool multiRack = !cfg_.singleRack();
+    const int nAggr = multiRack ? cfg_.aggrSwitches : 0;
+
+    // Hosts first (switch downlinks need them as sinks).
+    hosts_.reserve(nHosts);
+    for (HostId h = 0; h < nHosts; h++) {
+        hosts_.push_back(std::make_unique<Host>(loop_, h, cfg_.hostLink,
+                                                cfg_.softwareDelay, rng_.fork()));
+    }
+
+    // Aggregation switches.
+    for (int a = 0; a < nAggr; a++) {
+        aggrs_.push_back(std::make_unique<Switch>(
+            loop_, "aggr" + std::to_string(a), cfg_.switchDelay, rng_.fork()));
+    }
+
+    // TORs: ports [0, perRack) are host downlinks, [perRack, perRack+nAggr)
+    // are uplinks.
+    for (int r = 0; r < cfg_.racks; r++) {
+        auto tor = std::make_unique<Switch>(loop_, "tor" + std::to_string(r),
+                                            cfg_.switchDelay, rng_.fork());
+        for (int i = 0; i < perRack; i++) {
+            tor->addPort(cfg_.hostLink, makeQdisc(), hosts_[r * perRack + i].get());
+        }
+        for (int a = 0; a < nAggr; a++) {
+            tor->addPort(cfg_.coreLink, makeQdisc(), aggrs_[a].get());
+        }
+        const int rack = r;
+        tor->setRoute([this, rack, perRack, nAggr](const Packet& p, Rng& rng) {
+            assert(p.dst >= 0 && p.dst < cfg_.hostCount());
+            if (p.dst / perRack == rack) return p.dst % perRack;
+            // Per-packet spraying across the uplinks (§2.2).
+            return perRack + static_cast<int>(rng.below(nAggr));
+        });
+        tors_.push_back(std::move(tor));
+    }
+
+    // Aggr ports: one per rack, feeding that rack's TOR.
+    for (int a = 0; a < nAggr; a++) {
+        for (int r = 0; r < cfg_.racks; r++) {
+            aggrs_[a]->addPort(cfg_.coreLink, makeQdisc(), tors_[r].get());
+        }
+        aggrs_[a]->setRoute([perRack](const Packet& p, Rng&) {
+            return p.dst / perRack;
+        });
+    }
+
+    // Host NICs feed their TOR.
+    for (HostId h = 0; h < nHosts; h++) {
+        hosts_[h]->nic().connectTo(tors_[h / perRack].get());
+    }
+
+    // Transports last: they may inspect timings via their HostServices.
+    for (HostId h = 0; h < nHosts; h++) {
+        hosts_[h]->setTransport(makeTransport(*hosts_[h]));
+    }
+}
+
+void Network::sendMessage(Message m) {
+    assert(m.src >= 0 && m.src < hostCount());
+    assert(m.dst >= 0 && m.dst < hostCount());
+    assert(m.src != m.dst);
+    m.created = loop_.now();
+    hosts_[m.src]->transport().sendMessage(m);
+}
+
+void Network::setDeliveryCallback(Transport::DeliveryCallback cb) {
+    for (auto& h : hosts_) h->transport().setDeliveryCallback(cb);
+}
+
+EgressPort& Network::downlink(HostId h) {
+    return tors_[rackOf(h)]->port(h % cfg_.hostsPerRack);
+}
+
+std::vector<const EgressPort*> Network::torUplinkPorts() const {
+    std::vector<const EgressPort*> out;
+    for (const auto& tor : tors_) {
+        for (size_t i = cfg_.hostsPerRack; i < tor->portCount(); i++) {
+            out.push_back(&tor->port(static_cast<int>(i)));
+        }
+    }
+    return out;
+}
+
+std::vector<const EgressPort*> Network::aggrDownlinkPorts() const {
+    std::vector<const EgressPort*> out;
+    for (const auto& aggr : aggrs_) {
+        for (size_t i = 0; i < aggr->portCount(); i++) {
+            out.push_back(&aggr->port(static_cast<int>(i)));
+        }
+    }
+    return out;
+}
+
+std::vector<const EgressPort*> Network::torDownlinkPorts() const {
+    std::vector<const EgressPort*> out;
+    for (const auto& tor : tors_) {
+        for (int i = 0; i < cfg_.hostsPerRack; i++) out.push_back(&tor->port(i));
+    }
+    return out;
+}
+
+}  // namespace homa

@@ -1,0 +1,65 @@
+// Network: owns the event loop, hosts, and switches; wires the topology.
+//
+// Fat-tree wiring (Figure 11): every host NIC feeds its rack's TOR; each
+// TOR has one egress port per rack host (downlinks) plus one per
+// aggregation switch (uplinks, packet-sprayed); each aggregation switch has
+// one port per rack. Zero propagation delay; store-and-forward everywhere.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/host.h"
+#include "sim/switch.h"
+#include "sim/topology.h"
+#include "transport/transport.h"
+
+namespace homa {
+
+class Network {
+public:
+    Network(NetworkConfig cfg, const TransportFactory& makeTransport);
+
+    EventLoop& loop() { return loop_; }
+    const NetworkConfig& config() const { return cfg_; }
+    const NetworkTimings& timings() const { return timings_; }
+
+    int hostCount() const { return cfg_.hostCount(); }
+    Host& host(HostId h) { return *hosts_[h]; }
+
+    /// Hand a message to its source host's transport. Assigns created time;
+    /// the id must already be unique (use nextMsgId()).
+    void sendMessage(Message m);
+
+    MsgId nextMsgId() { return nextMsg_++; }
+
+    /// Install a delivery callback on every host's transport.
+    void setDeliveryCallback(Transport::DeliveryCallback cb);
+
+    /// The TOR egress port that feeds host h (its downlink). Queue stats
+    /// here drive Table 1, Figure 16, and Figure 21.
+    EgressPort& downlink(HostId h);
+
+    /// Ports grouped by network level, for Table 1.
+    std::vector<const EgressPort*> torUplinkPorts() const;
+    std::vector<const EgressPort*> aggrDownlinkPorts() const;
+    std::vector<const EgressPort*> torDownlinkPorts() const;
+
+    Switch& tor(int rack) { return *tors_[rack]; }
+    int rackOf(HostId h) const { return h / cfg_.hostsPerRack; }
+
+private:
+    std::unique_ptr<Qdisc> makeQdisc() const;
+
+    NetworkConfig cfg_;
+    NetworkTimings timings_;
+    EventLoop loop_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::unique_ptr<Switch>> tors_;
+    std::vector<std::unique_ptr<Switch>> aggrs_;
+    MsgId nextMsg_ = 1;
+};
+
+}  // namespace homa

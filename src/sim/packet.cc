@@ -1,0 +1,36 @@
+#include "sim/packet.h"
+
+#include <cstdio>
+
+namespace homa {
+
+int64_t Packet::wireBytes() const {
+    int64_t payload = 0;
+    if (type == PacketType::Data && !hasFlag(kFlagTrimmed)) payload = length;
+    return payload + kHeaderBytes + kFrameOverhead;
+}
+
+const char* packetTypeName(PacketType t) {
+    switch (t) {
+        case PacketType::Data: return "DATA";
+        case PacketType::Grant: return "GRANT";
+        case PacketType::Resend: return "RESEND";
+        case PacketType::Busy: return "BUSY";
+        case PacketType::Token: return "TOKEN";
+        case PacketType::Pull: return "PULL";
+        case PacketType::Nack: return "NACK";
+        case PacketType::Ack: return "ACK";
+        case PacketType::Rts: return "RTS";
+    }
+    return "?";
+}
+
+std::string Packet::summary() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s msg=%llu %d->%d off=%u len=%u prio=%u",
+                  packetTypeName(type), static_cast<unsigned long long>(msg),
+                  src, dst, offset, length, priority);
+    return buf;
+}
+
+}  // namespace homa

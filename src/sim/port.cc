@@ -1,0 +1,91 @@
+#include "sim/port.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace homa {
+
+EgressPort::EgressPort(EventLoop& loop, Bandwidth bw, std::unique_ptr<Qdisc> qdisc)
+    : loop_(loop), bw_(bw), qdisc_(std::move(qdisc)) {}
+
+void EgressPort::noteQueueChange() {
+    const Time now = loop_.now();
+    stats_.queueByteTimeIntegral +=
+        static_cast<double>(qdisc_->queuedBytes()) *
+        static_cast<double>(now - stats_.lastQueueChange);
+    stats_.lastQueueChange = now;
+}
+
+void EgressPort::enqueue(Packet p) {
+    // Stamp wait-decomposition state (Figure 14): if a *lower*-priority
+    // packet currently holds the wire, its residual transmission time will
+    // count as preemption lag; any further waiting (behind equal-or-higher
+    // priority packets) counts as queueing delay.
+    p.hopEnqueuedAt = loop_.now();
+    p.hopPreemptLagBound =
+        (busy_ && txPriority_ < p.priority) ? (txEndsAt_ - loop_.now()) : 0;
+
+    noteQueueChange();
+    const bool accepted = qdisc_->enqueue(p);
+    noteQueueChange();
+    if (!accepted) return;  // dropped; qdisc stats recorded it
+    stats_.maxQueueBytes = std::max(stats_.maxQueueBytes, qdisc_->queuedBytes());
+    tryTransmit();
+}
+
+void EgressPort::tryTransmit() {
+    if (busy_) return;
+    noteQueueChange();
+    std::optional<Packet> next = qdisc_->dequeue();
+    noteQueueChange();
+    if (!next && source_ != nullptr) {
+        next = source_->pullPacket();
+        if (next) {
+            next->hopEnqueuedAt = loop_.now();  // pulled: no wait at this hop
+            next->hopPreemptLagBound = 0;
+        }
+    }
+    if (!next) return;
+    startTransmission(std::move(*next));
+}
+
+void EgressPort::startTransmission(Packet p) {
+    assert(!busy_);
+
+    // Attribute the wait this packet experienced at this hop.
+    const Duration waited = loop_.now() - p.hopEnqueuedAt;
+    const Duration lag = std::min(waited, p.hopPreemptLagBound);
+    p.preemptionLag += lag;
+    p.queueingDelay += waited - lag;
+
+    const int64_t wire = p.wireBytes();
+    const Duration serialization = bw_.serialize(wire);
+    busy_ = true;
+    inFlightBytes_ = wire;
+    txPriority_ = p.priority;
+    txEndsAt_ = loop_.now() + serialization;
+
+    stats_.packetsSent++;
+    stats_.wireBytesSent += wire;
+    stats_.busyTime += serialization;
+    stats_.bytesByPriority[p.priority] += wire;
+
+    // The packet lives in txPacket_ rather than the closure: keeping the
+    // capture pointer-sized lets std::function use its small-buffer
+    // optimization, which matters at tens of millions of events per run.
+    txPacket_ = std::move(p);
+    loop_.at(txEndsAt_, [this] {
+        busy_ = false;
+        inFlightBytes_ = 0;
+        Packet done = std::move(*txPacket_);
+        txPacket_.reset();
+        if (peer_ != nullptr) {
+            done.hops++;
+            peer_->deliver(std::move(done));
+        }
+        tryTransmit();
+    });
+}
+
+}  // namespace homa

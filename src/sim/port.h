@@ -1,0 +1,107 @@
+// EgressPort: the serializing end of a unidirectional link.
+//
+// A port owns a qdisc and a link of fixed bandwidth. Whenever the link is
+// free it dequeues the next packet, holds the link for the packet's wire
+// time, and then delivers the packet to the downstream PacketSink (switches
+// in this simulator are store-and-forward: a hop sees a packet only once it
+// has fully arrived; propagation delay is zero, per the paper's setup).
+//
+// Ports support two feeding styles:
+//  * push: upstream calls enqueue(); packets wait in the qdisc.
+//  * pull: a PacketSource is consulted whenever the link goes idle and the
+//    qdisc is empty. This models NICs whose transmit queue is kept nearly
+//    empty so the transport can reorder packets (Homa §4 keeps at most two
+//    full packets in the NIC).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/event_loop.h"
+#include "sim/packet.h"
+#include "sim/qdisc.h"
+#include "sim/time.h"
+
+namespace homa {
+
+class PacketSink {
+public:
+    virtual ~PacketSink() = default;
+    virtual void deliver(Packet p) = 0;
+};
+
+class PacketSource {
+public:
+    virtual ~PacketSource() = default;
+    /// Return the next data packet to transmit, or nullopt if none ready.
+    virtual std::optional<Packet> pullPacket() = 0;
+};
+
+/// Per-port statistics; Table 1, Figure 14, Figure 16, and Figure 21 are
+/// all computed from these.
+struct PortStats {
+    uint64_t packetsSent = 0;
+    int64_t wireBytesSent = 0;
+    int64_t bytesByPriority[kPriorityLevels] = {};
+    Duration busyTime = 0;
+
+    // Time-weighted queue occupancy (buffer bytes, excluding the packet on
+    // the wire), maintained on every queue change.
+    int64_t maxQueueBytes = 0;
+    double queueByteTimeIntegral = 0;  // bytes * picoseconds
+    Time lastQueueChange = 0;
+
+    double meanQueueBytes(Time elapsed) const {
+        return elapsed > 0 ? queueByteTimeIntegral / static_cast<double>(elapsed) : 0.0;
+    }
+};
+
+class EgressPort : public PacketSink {
+public:
+    EgressPort(EventLoop& loop, Bandwidth bw, std::unique_ptr<Qdisc> qdisc);
+
+    void connectTo(PacketSink* peer) { peer_ = peer; }
+    void setSource(PacketSource* src) { source_ = src; }
+
+    /// Push-style entry; also the PacketSink interface so a port can be the
+    /// delivery target of an upstream hop (used by switch wiring).
+    void deliver(Packet p) override { enqueue(std::move(p)); }
+    void enqueue(Packet p);
+
+    /// Re-poll the pull source (call when the source gains data).
+    void kick() { tryTransmit(); }
+
+    bool busy() const { return busy_; }
+    bool idle() const { return !busy_ && qdisc_->queuedPackets() == 0; }
+    Bandwidth bandwidth() const { return bw_; }
+    Qdisc& qdisc() { return *qdisc_; }
+    const Qdisc& qdisc() const { return *qdisc_; }
+    const PortStats& stats() const { return stats_; }
+    EventLoop& loop() { return loop_; }
+
+    /// Total bytes accepted but not yet fully serialized (queued + on the
+    /// wire). Senders use this to honor NIC queue limits.
+    int64_t backlogBytes() const { return qdisc_->queuedBytes() + inFlightBytes_; }
+
+private:
+    void tryTransmit();
+    void startTransmission(Packet p);
+    void noteQueueChange();
+
+    EventLoop& loop_;
+    Bandwidth bw_;
+    std::unique_ptr<Qdisc> qdisc_;
+    PacketSink* peer_ = nullptr;
+    PacketSource* source_ = nullptr;
+
+    bool busy_ = false;
+    int64_t inFlightBytes_ = 0;
+    uint8_t txPriority_ = 0;   // priority of the packet on the wire
+    Time txEndsAt_ = 0;
+    std::optional<Packet> txPacket_;  // the packet on the wire
+
+    PortStats stats_;
+};
+
+}  // namespace homa

@@ -1,0 +1,130 @@
+#include "sim/qdisc.h"
+
+#include <algorithm>
+
+namespace homa {
+
+namespace {
+// Bytes a packet contributes to queue occupancy: payload + header (framing
+// overhead exists only on the wire, not in buffers).
+int64_t bufferBytes(const Packet& p) {
+    int64_t payload =
+        (p.type == PacketType::Data && !p.hasFlag(kFlagTrimmed)) ? p.length : 0;
+    return payload + kHeaderBytes;
+}
+}  // namespace
+
+bool StrictPriorityQdisc::enqueue(Packet& p) {
+    if (opts_.ecnThresholdBytes > 0 && bytes_ >= opts_.ecnThresholdBytes) {
+        p.setFlag(kFlagEcn);
+        stats_.ecnMarked++;
+    }
+    if (opts_.capBytes > 0 && bytes_ + bufferBytes(p) > opts_.capBytes) {
+        if (opts_.trimOnOverflow) {
+            // NDP-style switch: overflowing data packets lose their payload
+            // but the header must get through (switches reserve a separate
+            // header queue), as must control packets — otherwise receivers
+            // could never learn about the loss.
+            if (p.type == PacketType::Data && !p.hasFlag(kFlagTrimmed)) {
+                p.setFlag(kFlagTrimmed);
+                p.priority = kHighestPriority;
+                stats_.trimmed++;
+            }
+            // Headers and control bypass the cap.
+        } else {
+            stats_.dropped++;
+            return false;
+        }
+    }
+    queues_[p.priority].push_back(p);
+    bytes_ += bufferBytes(p);
+    packets_++;
+    stats_.enqueued++;
+    return true;
+}
+
+std::optional<Packet> StrictPriorityQdisc::dequeue() {
+    for (int prio = kHighestPriority; prio >= 0; prio--) {
+        auto& q = queues_[prio];
+        if (q.empty()) continue;
+        Packet p = q.front();
+        q.pop_front();
+        bytes_ -= bufferBytes(p);
+        packets_--;
+        return p;
+    }
+    return std::nullopt;
+}
+
+int StrictPriorityQdisc::headPriority() const {
+    for (int prio = kHighestPriority; prio >= 0; prio--) {
+        if (!queues_[prio].empty()) return prio;
+    }
+    return -1;
+}
+
+bool PFabricQdisc::enqueue(Packet& p) {
+    if (p.isControl()) {
+        control_.push_back(p);
+        bytes_ += bufferBytes(p);
+        stats_.enqueued++;
+        return true;
+    }
+    if (bytes_ + bufferBytes(p) > opts_.capBytes) {
+        // Drop the lowest-priority packet in the pool (largest remaining);
+        // if the incoming packet is the worst, drop it instead.
+        auto worst = std::max_element(
+            pool_.begin(), pool_.end(),
+            [](const Packet& a, const Packet& b) { return a.remaining < b.remaining; });
+        if (worst == pool_.end() || worst->remaining <= p.remaining) {
+            stats_.dropped++;
+            return false;
+        }
+        while (bytes_ + bufferBytes(p) > opts_.capBytes && !pool_.empty()) {
+            worst = std::max_element(pool_.begin(), pool_.end(),
+                                     [](const Packet& a, const Packet& b) {
+                                         return a.remaining < b.remaining;
+                                     });
+            if (worst->remaining <= p.remaining) break;
+            bytes_ -= bufferBytes(*worst);
+            pool_.erase(worst);
+            stats_.dropped++;
+        }
+        if (bytes_ + bufferBytes(p) > opts_.capBytes) {
+            stats_.dropped++;
+            return false;
+        }
+    }
+    pool_.push_back(p);
+    bytes_ += bufferBytes(p);
+    stats_.enqueued++;
+    return true;
+}
+
+std::optional<Packet> PFabricQdisc::dequeue() {
+    if (!control_.empty()) {
+        Packet p = control_.front();
+        control_.pop_front();
+        bytes_ -= bufferBytes(p);
+        return p;
+    }
+    if (pool_.empty()) return std::nullopt;
+    // Message with fewest remaining bytes wins; within it, earliest offset
+    // first so the receiver can make contiguous progress.
+    auto best = std::min_element(pool_.begin(), pool_.end(),
+                                 [](const Packet& a, const Packet& b) {
+                                     return a.remaining < b.remaining;
+                                 });
+    MsgId msg = best->msg;
+    auto earliest = pool_.end();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+        if (it->msg != msg) continue;
+        if (earliest == pool_.end() || it->offset < earliest->offset) earliest = it;
+    }
+    Packet p = *earliest;
+    pool_.erase(earliest);
+    bytes_ -= bufferBytes(p);
+    return p;
+}
+
+}  // namespace homa

@@ -1,0 +1,59 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+namespace homa {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+}
+
+uint64_t Rng::next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::below(uint64_t n) {
+    // Lemire-style rejection to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold) return r % n;
+    }
+}
+
+double Rng::exponential(double mean) {
+    // uniform() can return 0; 1-u is in (0, 1].
+    double u = uniform();
+    return -mean * std::log(1.0 - u);
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace homa

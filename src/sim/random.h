@@ -1,0 +1,49 @@
+// Deterministic random numbers for the simulator.
+//
+// xoshiro256** seeded via SplitMix64. We avoid <random> engines/distributions
+// because their outputs are not guaranteed identical across standard library
+// implementations; experiments must replay bit-for-bit from a seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace homa {
+
+class Rng {
+public:
+    explicit Rng(uint64_t seed) { reseed(seed); }
+
+    void reseed(uint64_t seed);
+
+    /// Uniform 64-bit value.
+    uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n); n must be > 0. Unbiased (rejection).
+    uint64_t below(uint64_t n);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int64_t range(int64_t lo, int64_t hi) {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /// True with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Derive an independent child stream (e.g., one per host).
+    Rng fork();
+
+private:
+    std::array<uint64_t, 4> s_{};
+};
+
+}  // namespace homa

@@ -1,0 +1,31 @@
+#include "sim/switch.h"
+
+#include <cassert>
+#include <utility>
+
+namespace homa {
+
+int Switch::addPort(Bandwidth bw, std::unique_ptr<Qdisc> qdisc, PacketSink* peer) {
+    auto port = std::make_unique<EgressPort>(loop_, bw, std::move(qdisc));
+    port->connectTo(peer);
+    ports_.push_back(std::move(port));
+    return static_cast<int>(ports_.size()) - 1;
+}
+
+void Switch::deliver(Packet p) {
+    assert(route_);
+    transit_.emplace_back(loop_.now() + delay_, std::move(p));
+    loop_.after(delay_, [this] { forwardHead(); });
+}
+
+void Switch::forwardHead() {
+    assert(!transit_.empty());
+    assert(transit_.front().first == loop_.now());
+    Packet p = std::move(transit_.front().second);
+    transit_.pop_front();
+    const int out = route_(p, rng_);
+    assert(out >= 0 && out < static_cast<int>(ports_.size()));
+    ports_[out]->enqueue(std::move(p));
+}
+
+}  // namespace homa

@@ -1,0 +1,58 @@
+// Store-and-forward switch with strict-priority (or pFabric) egress queues.
+//
+// A packet that has fully arrived on an ingress link is routed after the
+// switch's internal delay (250 ns in the paper's simulations) and enqueued
+// on the chosen egress port. Routing is a pluggable function so the same
+// class serves TORs (with packet spraying across uplinks) and aggregation
+// switches.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/packet.h"
+#include "sim/port.h"
+#include "sim/random.h"
+
+namespace homa {
+
+class Switch final : public PacketSink {
+public:
+    /// Maps a packet to an egress port index; may use rng (spraying).
+    using RouteFn = std::function<int(const Packet&, Rng&)>;
+
+    Switch(EventLoop& loop, std::string name, Duration internalDelay, Rng rng)
+        : loop_(loop), name_(std::move(name)), delay_(internalDelay), rng_(rng) {}
+
+    /// Add an egress port; returns its index.
+    int addPort(Bandwidth bw, std::unique_ptr<Qdisc> qdisc, PacketSink* peer);
+
+    void setRoute(RouteFn fn) { route_ = std::move(fn); }
+
+    void deliver(Packet p) override;
+
+    EgressPort& port(int i) { return *ports_[i]; }
+    const EgressPort& port(int i) const { return *ports_[i]; }
+    size_t portCount() const { return ports_.size(); }
+    const std::string& name() const { return name_; }
+
+private:
+    void forwardHead();
+
+    EventLoop& loop_;
+    std::string name_;
+    Duration delay_;
+    Rng rng_;
+    RouteFn route_;
+    std::vector<std::unique_ptr<EgressPort>> ports_;
+    // Packets inside the switch (fixed internal delay => FIFO). Kept as a
+    // member so the scheduled events capture only `this`.
+    std::deque<std::pair<Time, Packet>> transit_;
+};
+
+}  // namespace homa

@@ -1,0 +1,61 @@
+// Simulated time.
+//
+// The simulator clock is a signed 64-bit count of picoseconds. Picosecond
+// resolution lets link serialization times be exact integers for the
+// bandwidths we care about (10 Gbps = 800 ps/byte, 40 Gbps = 200 ps/byte),
+// which keeps runs bit-for-bit deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace homa {
+
+/// Simulated time in picoseconds since the start of the run.
+using Time = int64_t;
+
+/// Durations share the representation of Time.
+using Duration = int64_t;
+
+constexpr Duration kPicosecond = 1;
+constexpr Duration kNanosecond = 1000;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr Duration microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(int64_t n) { return n * kMillisecond; }
+
+constexpr double toSeconds(Duration d) {
+    return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double toMicros(Duration d) {
+    return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Link speed expressed as picoseconds per byte; exact for common rates.
+struct Bandwidth {
+    /// Time to place one byte on the wire.
+    Duration psPerByte = 0;
+
+    constexpr Duration serialize(int64_t bytes) const { return psPerByte * bytes; }
+
+    /// Bytes transmittable in `d`; rounds down.
+    constexpr int64_t bytesIn(Duration d) const {
+        return psPerByte > 0 ? d / psPerByte : 0;
+    }
+
+    constexpr double gbps() const {
+        return psPerByte > 0 ? 8000.0 / static_cast<double>(psPerByte) : 0.0;
+    }
+
+    static constexpr Bandwidth fromGbps(int64_t gbps) {
+        // 1 Gbps = 8000 ps/byte.
+        return Bandwidth{8000 / gbps};
+    }
+};
+
+constexpr Bandwidth k10Gbps = Bandwidth::fromGbps(10);   // 800 ps/byte
+constexpr Bandwidth k40Gbps = Bandwidth::fromGbps(40);   // 200 ps/byte
+
+}  // namespace homa

@@ -1,0 +1,43 @@
+#include "sim/topology.h"
+
+#include "sim/packet.h"
+
+namespace homa {
+
+NetworkConfig NetworkConfig::fatTree144() { return NetworkConfig{}; }
+
+NetworkConfig NetworkConfig::singleRack16() {
+    NetworkConfig cfg;
+    cfg.racks = 1;
+    cfg.hostsPerRack = 16;
+    cfg.aggrSwitches = 0;
+    return cfg;
+}
+
+NetworkTimings NetworkTimings::compute(const NetworkConfig& cfg) {
+    const int64_t controlWire = kHeaderBytes + kFrameOverhead;
+    const int64_t dataWire = kFullPacketWireBytes;
+
+    // Worst-case path between two hosts: 2 host links + (cross-rack only)
+    // 2 core links, with one switch delay per switch traversed.
+    const int switches = cfg.singleRack() ? 1 : 3;
+    auto pathTime = [&](int64_t wireBytes) {
+        Duration t = 2 * cfg.hostLink.serialize(wireBytes);
+        if (!cfg.singleRack()) t += 2 * cfg.coreLink.serialize(wireBytes);
+        t += switches * cfg.switchDelay;
+        return t;
+    };
+
+    NetworkTimings tm{};
+    tm.fullPacketSerialization10g = cfg.hostLink.serialize(dataWire);
+    // Full control loop: grant travels to the sender, the sender's software
+    // processes it, a full data packet travels back, and the receiver's
+    // software processes it before it can influence the next grant.
+    tm.rttSmallGrant =
+        pathTime(controlWire) + cfg.softwareDelay + pathTime(dataWire) +
+        cfg.softwareDelay;
+    tm.rttBytes = tm.rttSmallGrant / cfg.hostLink.psPerByte;
+    return tm;
+}
+
+}  // namespace homa

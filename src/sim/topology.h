@@ -1,0 +1,50 @@
+// Topology configuration for the two clusters in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/qdisc.h"
+#include "sim/time.h"
+
+namespace homa {
+
+struct NetworkConfig {
+    // Figure 11: 9 racks x 16 hosts, 4 aggregation switches. Setting
+    // aggrSwitches = 0 (or racks = 1) produces the single-switch 16-host
+    // cluster used for the implementation measurements (§5.1).
+    int racks = 9;
+    int hostsPerRack = 16;
+    int aggrSwitches = 4;
+
+    Bandwidth hostLink = k10Gbps;
+    Bandwidth coreLink = k40Gbps;
+    Duration switchDelay = nanoseconds(250);
+    Duration softwareDelay = nanoseconds(1500);
+
+    uint64_t seed = 1;
+
+    /// Factory for switch egress queues; default is an unbounded
+    /// strict-priority queue (commodity switch with 8 levels and buffers
+    /// large enough that Homa never drops — validated by Table 1).
+    std::function<std::unique_ptr<Qdisc>()> switchQdisc;
+
+    int hostCount() const { return racks * hostsPerRack; }
+    bool singleRack() const { return racks == 1 || aggrSwitches == 0; }
+
+    /// Convenience presets matching the paper.
+    static NetworkConfig fatTree144();      // §5.2 simulations
+    static NetworkConfig singleRack16();    // §5.1 implementation cluster
+};
+
+/// Closed-form network constants derived from a config.
+struct NetworkTimings {
+    Duration fullPacketSerialization10g;  // host link, full data packet
+    Duration rttSmallGrant;  // grant out + full data packet back, cross-rack
+    int64_t rttBytes;        // bandwidth-delay product of that RTT
+
+    static NetworkTimings compute(const NetworkConfig& cfg);
+};
+
+}  // namespace homa

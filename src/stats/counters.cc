@@ -1,0 +1,65 @@
+#include "stats/counters.h"
+
+namespace homa {
+
+WastedBandwidthProbe::WastedBandwidthProbe(Network& net, Duration interval)
+    : net_(net), interval_(interval) {}
+
+void WastedBandwidthProbe::start(Time from, Time until) {
+    until_ = until;
+    net_.loop().at(from, [this] { sampleOnce(); });
+}
+
+void WastedBandwidthProbe::sampleOnce() {
+    for (HostId h = 0; h < net_.hostCount(); h++) {
+        samples_++;
+        if (net_.downlink(h).idle() && net_.host(h).transport().hasWithheldWork()) {
+            wasted_++;
+        }
+    }
+    if (net_.loop().now() + interval_ <= until_) {
+        net_.loop().after(interval_, [this] { sampleOnce(); });
+    }
+}
+
+QueueOccupancy summarizeQueues(const std::vector<const EgressPort*>& ports,
+                               Time elapsed) {
+    QueueOccupancy out;
+    if (ports.empty() || elapsed <= 0) return out;
+    double meanSum = 0;
+    for (const auto* p : ports) {
+        meanSum += p->stats().meanQueueBytes(elapsed);
+        out.maxBytes = std::max(out.maxBytes, p->stats().maxQueueBytes);
+    }
+    out.meanBytes = meanSum / static_cast<double>(ports.size());
+    return out;
+}
+
+std::array<double, kPriorityLevels> priorityUsage(Network& net, Time elapsed) {
+    std::array<double, kPriorityLevels> out{};
+    if (elapsed <= 0) return out;
+    double capacity = 0;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        const auto& st = net.downlink(h).stats();
+        for (int p = 0; p < kPriorityLevels; p++) {
+            out[p] += static_cast<double>(st.bytesByPriority[p]);
+        }
+        capacity += static_cast<double>(
+            net.downlink(h).bandwidth().bytesIn(elapsed));
+    }
+    for (auto& v : out) v = capacity > 0 ? v / capacity : 0.0;
+    return out;
+}
+
+double downlinkUtilization(Network& net, Time elapsed) {
+    if (elapsed <= 0) return 0;
+    double sent = 0, capacity = 0;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        sent += static_cast<double>(net.downlink(h).stats().wireBytesSent);
+        capacity += static_cast<double>(
+            net.downlink(h).bandwidth().bytesIn(elapsed));
+    }
+    return capacity > 0 ? sent / capacity : 0.0;
+}
+
+}  // namespace homa

@@ -1,0 +1,37 @@
+// Sample collection with exact percentiles.
+//
+// Experiments collect up to a few million samples; storing them and using
+// nth_element on demand is simpler and more accurate than sketches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace homa {
+
+class Samples {
+public:
+    void add(double v);
+
+    size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /// Exact p-quantile (p in [0,1]) by nearest-rank; 0 if empty.
+    double percentile(double p) const;
+
+    double median() const { return percentile(0.50); }
+    double p99() const { return percentile(0.99); }
+
+    const std::vector<double>& values() const { return values_; }
+
+private:
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = false;
+    double sum_ = 0;
+};
+
+}  // namespace homa

@@ -1,0 +1,63 @@
+#include "stats/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace homa {
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::format() const {
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+        if (widths.size() < row.size()) widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); i++) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    std::ostringstream out;
+    for (size_t r = 0; r < rows_.size(); r++) {
+        for (size_t i = 0; i < rows_[r].size(); i++) {
+            if (i > 0) out << "  ";
+            out << rows_[r][i];
+            for (size_t pad = rows_[r][i].size(); pad < widths[i]; pad++) out << ' ';
+        }
+        out << '\n';
+        if (r == 0) {
+            for (size_t i = 0; i < widths.size(); i++) {
+                if (i > 0) out << "  ";
+                out << std::string(widths[i], '-');
+            }
+            out << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string Table::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string Table::bytes(int64_t v) {
+    char buf[64];
+    if (v >= 10'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+    } else if (v >= 10'000) {
+        std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(v) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    }
+    return buf;
+}
+
+std::string banner(const std::string& title) {
+    std::string line(title.size() + 8, '=');
+    return line + "\n==  " + title + "  ==\n" + line + "\n";
+}
+
+}  // namespace homa

@@ -1,0 +1,28 @@
+// Plain-text table formatting for the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace homa {
+
+/// Fixed-width table: first row is the header. Column widths auto-sized.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    std::string format() const;
+
+    /// Helpers for cell formatting.
+    static std::string num(double v, int precision = 2);
+    static std::string bytes(int64_t v);  // human size: 1442, 9.7K, 10M ...
+
+private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for bench output.
+std::string banner(const std::string& title);
+
+}  // namespace homa

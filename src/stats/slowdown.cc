@@ -1,0 +1,80 @@
+#include "stats/slowdown.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/packet.h"
+
+namespace homa {
+
+SlowdownTracker::SlowdownTracker(const SizeDistribution& dist, OracleFn oracle)
+    : dist_(dist), oracle_(std::move(oracle)) {
+    // "Short" per Figure 14: smallest 20% of messages for W1-W4; all
+    // single-packet messages for W5.
+    shortSizeLimit_ = std::max<uint32_t>(dist_.deciles()[1],
+                                         0);  // 20% decile edge
+    if (dist_.minSize() >= kMaxPayload) {
+        shortSizeLimit_ = kMaxPayload;
+    }
+}
+
+int SlowdownTracker::bucketFor(uint32_t size) const {
+    const auto& d = dist_.deciles();
+    for (int i = 0; i < 10; i++) {
+        if (size <= d[i]) return i;
+    }
+    return 9;
+}
+
+void SlowdownTracker::record(uint32_t size, Duration elapsed,
+                             Duration queueingDelay, Duration preemptionLag) {
+    recordWithBest(size, elapsed, oracle_(size), queueingDelay, preemptionLag);
+}
+
+void SlowdownTracker::recordWithBest(uint32_t size, Duration elapsed,
+                                     Duration best, Duration queueingDelay,
+                                     Duration preemptionLag) {
+    assert(best > 0);
+    const double slowdown =
+        static_cast<double>(elapsed) / static_cast<double>(best);
+    buckets_[bucketFor(size)].add(slowdown);
+    all_.add(slowdown);
+    if (size <= shortSizeLimit_) {
+        shortMessages_.push_back(
+            CompletionRecord{size, elapsed, queueingDelay, preemptionLag});
+    }
+}
+
+std::vector<SlowdownRow> SlowdownTracker::rows() const {
+    std::vector<SlowdownRow> out;
+    out.reserve(10);
+    for (int i = 0; i < 10; i++) {
+        SlowdownRow row;
+        row.bucketMaxSize = dist_.deciles()[i];
+        row.count = buckets_[i].count();
+        row.median = buckets_[i].median();
+        row.p99 = buckets_[i].p99();
+        row.mean = buckets_[i].mean();
+        out.push_back(row);
+    }
+    return out;
+}
+
+std::pair<Duration, Duration> SlowdownTracker::tailDelaySources() const {
+    if (shortMessages_.empty()) return {0, 0};
+    Samples delays;
+    for (const auto& r : shortMessages_) delays.add(static_cast<double>(r.elapsed));
+    const double lo = delays.percentile(0.98);
+    Duration q = 0, lag = 0;
+    int64_t n = 0;
+    for (const auto& r : shortMessages_) {
+        if (static_cast<double>(r.elapsed) < lo) continue;
+        q += r.queueingDelay;
+        lag += r.preemptionLag;
+        n++;
+    }
+    if (n == 0) return {0, 0};
+    return {q / n, lag / n};
+}
+
+}  // namespace homa

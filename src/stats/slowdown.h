@@ -1,0 +1,79 @@
+// Slowdown bookkeeping, bucketed exactly the way the paper plots it.
+//
+// Slowdown = actual completion time / best possible time for a message of
+// that size on an unloaded network (§5.1). The x-axes of Figures 8-13 are
+// linear in message count: one bucket per decile of the workload's size
+// distribution. This tracker buckets by those deciles and reports median
+// and 99th-percentile slowdown per bucket.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/percentile.h"
+#include "workload/distribution.h"
+
+namespace homa {
+
+/// Best-case (unloaded) completion time for a message of a given size.
+using OracleFn = std::function<Duration(uint32_t size)>;
+
+struct SlowdownRow {
+    uint32_t bucketMaxSize = 0;  // decile upper edge (the paper's tick label)
+    size_t count = 0;
+    double median = 0;
+    double p99 = 0;
+    double mean = 0;
+};
+
+/// One record per delivered message, kept for decomposition queries.
+struct CompletionRecord {
+    uint32_t size;
+    Duration elapsed;
+    Duration queueingDelay;
+    Duration preemptionLag;
+};
+
+class SlowdownTracker {
+public:
+    SlowdownTracker(const SizeDistribution& dist, OracleFn oracle);
+
+    void record(uint32_t size, Duration elapsed, Duration queueingDelay = 0,
+                Duration preemptionLag = 0);
+
+    /// Variant with an externally computed best-case time (e.g. a
+    /// placement-aware oracle: intra-rack messages have a shorter path).
+    void recordWithBest(uint32_t size, Duration elapsed, Duration best,
+                        Duration queueingDelay = 0, Duration preemptionLag = 0);
+
+    /// Per-decile rows (10 of them), in ascending size order.
+    std::vector<SlowdownRow> rows() const;
+
+    /// Slowdown percentile across all messages.
+    double overallPercentile(double p) const { return all_.percentile(p); }
+    size_t count() const { return all_.count(); }
+
+    /// Figure 14: among "short" messages (smallest 20% of the workload; for
+    /// W5, single-packet messages), average queueing delay and preemption
+    /// lag of the messages whose total delay lies in [p98, p100] — i.e.
+    /// near the tail. Returns {meanQueueingDelay, meanPreemptionLag}.
+    std::pair<Duration, Duration> tailDelaySources() const;
+
+    const SizeDistribution& distribution() const { return dist_; }
+    OracleFn oracle() const { return oracle_; }
+
+private:
+    int bucketFor(uint32_t size) const;
+
+    const SizeDistribution& dist_;
+    OracleFn oracle_;
+    std::array<Samples, 10> buckets_;
+    Samples all_;
+    uint32_t shortSizeLimit_;
+    std::vector<CompletionRecord> shortMessages_;
+};
+
+}  // namespace homa

@@ -1,0 +1,75 @@
+// The interface every transport protocol implements.
+//
+// A Transport lives inside a simulated Host. The host feeds it received
+// packets (after the host software delay) and pulls data packets from it
+// when the NIC is free; the transport pushes control packets eagerly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/event_loop.h"
+#include "sim/packet.h"
+#include "sim/port.h"
+#include "sim/random.h"
+#include "transport/message.h"
+
+namespace homa {
+
+/// Services a Host provides to its transport.
+class HostServices {
+public:
+    virtual ~HostServices() = default;
+    virtual EventLoop& loop() = 0;
+    virtual HostId id() const = 0;
+
+    /// Eagerly enqueue a packet into the NIC (queued at p.priority).
+    /// Transports use this for control packets (always sent at the highest
+    /// priority) and, for protocols without sender SRPT, for data.
+    virtual void pushPacket(Packet p) = 0;
+
+    /// Tell the NIC that pullPacket() may now return something.
+    virtual void kickNic() = 0;
+
+    virtual Rng& rng() = 0;
+};
+
+class Transport : public PacketSource {
+public:
+    using DeliveryCallback =
+        std::function<void(const Message&, const DeliveryInfo&)>;
+
+    ~Transport() override = default;
+
+    /// Begin transmitting an outbound message.
+    virtual void sendMessage(const Message& m) = 0;
+
+    /// A packet addressed to this host has arrived (post software delay).
+    virtual void handlePacket(const Packet& p) = 0;
+
+    /// PacketSource: the NIC pulls the next data packet. Transports that
+    /// push everything return nullopt.
+    std::optional<Packet> pullPacket() override { return std::nullopt; }
+
+    /// Figure 16 probe: true when this receiver has at least one incomplete
+    /// inbound message to which it is *not* currently granting (bandwidth
+    /// it chose to withhold). Downlink idle + this => wasted bandwidth.
+    virtual bool hasWithheldWork() const { return false; }
+
+    void setDeliveryCallback(DeliveryCallback cb) { delivered_ = std::move(cb); }
+
+protected:
+    void notifyDelivered(const Message& m, const DeliveryInfo& info) {
+        if (delivered_) delivered_(m, info);
+    }
+
+private:
+    DeliveryCallback delivered_;
+};
+
+/// Creates one transport instance per host.
+using TransportFactory =
+    std::function<std::unique_ptr<Transport>(HostServices&)>;
+
+}  // namespace homa

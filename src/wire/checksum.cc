@@ -1,0 +1,41 @@
+#include "wire/checksum.h"
+
+#include <array>
+
+namespace homa::wire {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reversed CRC-32C polynomial
+
+std::array<uint32_t, 256> makeTable() {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; i++) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; bit++) {
+            crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+    static const auto t = makeTable();
+    return t;
+}
+
+}  // namespace
+
+uint32_t crc32cUpdate(uint32_t crc, std::span<const std::byte> data) {
+    const auto& t = table();
+    for (std::byte b : data) {
+        crc = t[(crc ^ static_cast<uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc;
+}
+
+uint32_t crc32c(std::span<const std::byte> data) {
+    return ~crc32cUpdate(~0u, data);
+}
+
+}  // namespace homa::wire

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) used to protect serialized Homa headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace homa::wire {
+
+/// CRC-32C of `data`, software table implementation.
+uint32_t crc32c(std::span<const std::byte> data);
+
+/// Incremental form: continue a CRC (pass ~0u to start, finalize with ~crc).
+uint32_t crc32cUpdate(uint32_t crc, std::span<const std::byte> data);
+
+}  // namespace homa::wire

@@ -1,0 +1,71 @@
+#include "wire/header.h"
+
+#include <cstring>
+
+#include "wire/checksum.h"
+
+namespace homa::wire {
+namespace {
+
+template <typename T>
+void put(std::span<std::byte> out, size_t off, T v) {
+    std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::byte> in, size_t off) {
+    T v;
+    std::memcpy(&v, in.data() + off, sizeof(T));
+    return v;
+}
+
+}  // namespace
+
+size_t encodeHeader(const Packet& p, std::span<std::byte> out) {
+    if (out.size() < kWireHeaderSize) return 0;
+    std::memset(out.data(), 0, kWireHeaderSize);
+    put<uint32_t>(out, 0, kMagic);
+    put<uint8_t>(out, 4, kVersion);
+    put<uint8_t>(out, 5, static_cast<uint8_t>(p.type));
+    put<uint8_t>(out, 6, p.priority);
+    put<uint8_t>(out, 7, p.grantPriority);
+    put<uint16_t>(out, 8, p.flags);
+    put<int32_t>(out, 12, p.src);
+    put<int32_t>(out, 16, p.dst);
+    put<uint64_t>(out, 20, p.msg);
+    put<uint32_t>(out, 28, p.offset);
+    put<uint32_t>(out, 32, p.length);
+    put<uint32_t>(out, 36, p.messageLength);
+    put<uint32_t>(out, 40, p.grantOffset);
+    put<uint32_t>(out, 44, p.remaining);
+    const uint32_t crc = crc32c(out.subspan(0, 54));
+    put<uint32_t>(out, 54, crc);
+    return kWireHeaderSize;
+}
+
+std::optional<Packet> decodeHeader(std::span<const std::byte> in) {
+    if (in.size() < kWireHeaderSize) return std::nullopt;
+    if (get<uint32_t>(in, 0) != kMagic) return std::nullopt;
+    if (get<uint8_t>(in, 4) != kVersion) return std::nullopt;
+    if (get<uint32_t>(in, 54) != crc32c(in.subspan(0, 54))) return std::nullopt;
+
+    Packet p;
+    const uint8_t type = get<uint8_t>(in, 5);
+    if (type > static_cast<uint8_t>(PacketType::Rts)) return std::nullopt;
+    p.type = static_cast<PacketType>(type);
+    p.priority = get<uint8_t>(in, 6);
+    if (p.priority >= kPriorityLevels) return std::nullopt;
+    p.grantPriority = get<uint8_t>(in, 7);
+    p.flags = get<uint16_t>(in, 8);
+    p.src = get<int32_t>(in, 12);
+    p.dst = get<int32_t>(in, 16);
+    p.msg = get<uint64_t>(in, 20);
+    p.offset = get<uint32_t>(in, 28);
+    p.length = get<uint32_t>(in, 32);
+    p.messageLength = get<uint32_t>(in, 36);
+    p.grantOffset = get<uint32_t>(in, 40);
+    p.remaining = get<uint32_t>(in, 44);
+    return p;
+}
+
+}  // namespace homa::wire

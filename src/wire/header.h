@@ -1,0 +1,52 @@
+// On-the-wire packet header format.
+//
+// The simulator moves Packet structs by value, but a real deployment needs
+// a byte format; this codec defines one (fixed-size, little-endian, CRC-32C
+// protected) and round-trips the simulator's Packet. The quickstart example
+// and the wire tests exercise it; the header size matches kHeaderBytes so
+// wire accounting in the simulator is consistent with the codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sim/packet.h"
+
+namespace homa::wire {
+
+/// Serialized header size in bytes. Layout:
+///   0  u32 magic            "HOMA"
+///   4  u8  version
+///   5  u8  type
+///   6  u8  priority
+///   7  u8  grantPriority
+///   8  u16 flags
+///  10  u16 reserved
+///  12  i32 src
+///  16  i32 dst
+///  20  u64 msg
+///  28  u32 offset
+///  32  u32 length
+///  36  u32 messageLength
+///  40  u32 grantOffset
+///  44  u32 remaining
+///  48  u32 reserved2
+///  52  u16 reserved3
+///  54  u32 crc32c (of bytes [0, 54))
+constexpr size_t kWireHeaderSize = 58;
+static_assert(kWireHeaderSize == kHeaderBytes,
+              "wire codec and simulator header accounting must agree");
+
+constexpr uint32_t kMagic = 0x414D4F48u;  // "HOMA" little-endian
+constexpr uint8_t kVersion = 1;
+
+/// Serialize `p`'s header into `out` (must be >= kWireHeaderSize bytes).
+/// Returns bytes written.
+size_t encodeHeader(const Packet& p, std::span<std::byte> out);
+
+/// Parse a header. Returns nullopt on bad magic/version/CRC/short buffer.
+std::optional<Packet> decodeHeader(std::span<const std::byte> in);
+
+}  // namespace homa::wire

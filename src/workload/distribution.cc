@@ -1,0 +1,130 @@
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "sim/packet.h"
+
+namespace homa {
+
+int64_t messageWireBytes(int64_t len) {
+    const int64_t packets = std::max<int64_t>(1, (len + kMaxPayload - 1) / kMaxPayload);
+    return len + packets * (kHeaderBytes + kFrameOverhead);
+}
+
+SizeDistribution::SizeDistribution(std::string name, uint32_t minSize,
+                                   std::array<uint32_t, 10> deciles,
+                                   uint32_t quantum, std::vector<Anchor> anchors)
+    : name_(std::move(name)), min_(minSize), deciles_(deciles), quantum_(quantum) {
+    assert(min_ >= 1);
+    [[maybe_unused]] uint32_t prev = min_;
+    for ([[maybe_unused]] uint32_t d : deciles_) {
+        assert(d >= prev);
+        prev = d;
+    }
+    grid_.emplace_back(0.0, static_cast<double>(min_));
+    for (int i = 0; i < 10; i++) {
+        grid_.emplace_back((i + 1) / 10.0, static_cast<double>(deciles_[i]));
+    }
+    for (const Anchor& a : anchors) {
+        assert(a.p > 0 && a.p < 1);
+        grid_.emplace_back(a.p, static_cast<double>(a.size));
+    }
+    std::sort(grid_.begin(), grid_.end());
+    // Sizes must be non-decreasing along the grid for the quantile function
+    // to be well-defined.
+    for (size_t i = 1; i < grid_.size(); i++) {
+        assert(grid_[i].second >= grid_[i - 1].second);
+    }
+}
+
+double SizeDistribution::quantile(double p) const {
+    p = std::clamp(p, 0.0, 1.0);
+    // Find the segment [p0, p1) containing p; geometric interpolation.
+    auto it = std::upper_bound(grid_.begin(), grid_.end(),
+                               std::make_pair(p, 1e300));
+    if (it == grid_.begin()) return grid_.front().second;
+    if (it == grid_.end()) return grid_.back().second;
+    const auto [p0, s0] = *std::prev(it);
+    const auto [p1, s1] = *it;
+    if (p1 <= p0 || s0 <= 0 || s1 <= s0) return s1;
+    const double f = (p - p0) / (p1 - p0);
+    return s0 * std::pow(s1 / s0, f);
+}
+
+double SizeDistribution::cdf(double size) const {
+    if (size <= min_) return 0.0;
+    if (size >= deciles_[9]) return 1.0;
+    for (size_t i = 1; i < grid_.size(); i++) {
+        const auto [p0, s0] = grid_[i - 1];
+        const auto [p1, s1] = grid_[i];
+        if (size > s1) continue;
+        if (s1 <= s0) return p1;
+        const double f = std::log(size / s0) / std::log(s1 / s0);
+        return p0 + (p1 - p0) * std::clamp(f, 0.0, 1.0);
+    }
+    return 1.0;
+}
+
+uint32_t SizeDistribution::sample(Rng& rng) const {
+    // Ceiling maps the continuous segment (lo, hi] onto integers such that
+    // P(size <= decile_i) is exactly i/10 — the decile-exactness the
+    // evaluation's bucketing relies on.
+    const double x = quantile(rng.uniform());
+    uint32_t size = static_cast<uint32_t>(std::ceil(x - 1e-9));
+    if (quantum_ > 1) {
+        size = std::max(quantum_, (size + quantum_ / 2) / quantum_ * quantum_);
+    }
+    return std::clamp(size, min_, deciles_[9]);
+}
+
+double SizeDistribution::meanSize() const {
+    // E[size] per log-linear segment: lo * (r - 1) / ln r, r = hi/lo,
+    // weighted by the segment's probability mass.
+    double mean = 0.0;
+    for (size_t i = 1; i < grid_.size(); i++) {
+        const auto [p0, lo] = grid_[i - 1];
+        const auto [p1, hi] = grid_[i];
+        if (p1 <= p0) continue;
+        double segMean;
+        if (hi <= lo || lo <= 0) {
+            segMean = hi;
+        } else {
+            const double r = hi / lo;
+            segMean = lo * (r - 1.0) / std::log(r);
+        }
+        mean += (p1 - p0) * segMean;
+    }
+    return mean;
+}
+
+void SizeDistribution::ensureSample() const {
+    if (!mcSample_.empty()) return;
+    Rng rng(0x5EEDull ^ std::hash<std::string>{}(name_));
+    mcSample_.resize(200000);
+    for (auto& s : mcSample_) s = sample(rng);
+}
+
+double SizeDistribution::meanWireBytes() const {
+    if (cachedMeanWire_ >= 0) return cachedMeanWire_;
+    ensureSample();
+    double total = 0;
+    for (uint32_t s : mcSample_) total += static_cast<double>(messageWireBytes(s));
+    cachedMeanWire_ = total / static_cast<double>(mcSample_.size());
+    return cachedMeanWire_;
+}
+
+double SizeDistribution::byteWeightedCdf(double s) const {
+    ensureSample();
+    double below = 0, total = 0;
+    for (uint32_t sz : mcSample_) {
+        total += sz;
+        if (sz <= s) below += sz;
+    }
+    return total > 0 ? below / total : 0.0;
+}
+
+}  // namespace homa

@@ -1,0 +1,83 @@
+// Message-size distributions.
+//
+// The paper's evaluation buckets every result by the deciles of each
+// workload's message-size CDF (the x-axis ticks of Figures 8-13). We define
+// each workload by exactly those decile points and interpolate
+// log-linearly in between: within decile bucket i, a size is
+// lo * (hi/lo)^f with f uniform in [0,1). This matches the printed deciles
+// exactly — i.e., matches the workload at every point where the paper
+// measures it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace homa {
+
+class SizeDistribution {
+public:
+    /// Extra quantile anchor: the size at cumulative probability p. Used to
+    /// shape the top decile, whose byte mass log-linear interpolation would
+    /// otherwise grossly overstate (the real traces have thin extreme
+    /// tails; see workloads.cc for how each workload's anchors were fixed
+    /// against facts the paper states).
+    struct Anchor {
+        double p;
+        uint32_t size;
+    };
+
+    /// `deciles` holds the 10%,20%,...,100% quantiles (10 ascending values).
+    /// `minSize` is the smallest possible message. If `quantum` > 1, sizes
+    /// are rounded to multiples of it (W5's full-packet quantization).
+    SizeDistribution(std::string name, uint32_t minSize,
+                     std::array<uint32_t, 10> deciles, uint32_t quantum = 1,
+                     std::vector<Anchor> anchors = {});
+
+    const std::string& name() const { return name_; }
+    const std::array<uint32_t, 10>& deciles() const { return deciles_; }
+    uint32_t minSize() const { return min_; }
+    uint32_t maxSize() const { return deciles_[9]; }
+
+    /// Sample one message size.
+    uint32_t sample(Rng& rng) const;
+
+    /// Quantile of the continuous model (p in [0,1]).
+    double quantile(double p) const;
+
+    /// CDF of the continuous model (fraction of messages <= size).
+    double cdf(double size) const;
+
+    /// Mean message size of the continuous model (closed form per segment).
+    double meanSize() const;
+
+    /// Mean on-the-wire bytes per message (payload + per-packet header and
+    /// framing overhead), computed by deterministic Monte Carlo. Used for
+    /// load calibration.
+    double meanWireBytes() const;
+
+    /// Fraction of all *bytes* that belong to messages with size <= s
+    /// (byte-weighted CDF, lower graph of Figure 1). Monte Carlo estimate.
+    double byteWeightedCdf(double s) const;
+
+private:
+    std::string name_;
+    uint32_t min_;
+    std::array<uint32_t, 10> deciles_;
+    uint32_t quantum_;
+    // Merged breakpoint grid: (cumulative probability, size), ascending,
+    // starting at (0, min) and ending at (1, max).
+    std::vector<std::pair<double, double>> grid_;
+    // Cached Monte Carlo aggregates (computed lazily, deterministic seed).
+    mutable double cachedMeanWire_ = -1.0;
+    mutable std::vector<uint32_t> mcSample_;
+    void ensureSample() const;
+};
+
+/// Wire bytes for a message of `len` payload bytes (sum over its packets).
+int64_t messageWireBytes(int64_t len);
+
+}  // namespace homa

@@ -1,0 +1,58 @@
+#include "workload/generator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace homa {
+
+TrafficGenerator::TrafficGenerator(Network& net, TrafficConfig cfg,
+                                   std::function<void(const Message&)> onCreate)
+    : net_(net),
+      cfg_(cfg),
+      dist_(workload(cfg.workload)),
+      onCreate_(std::move(onCreate)) {
+    assert(cfg_.load > 0 && cfg_.load <= 1.5);  // >1 allowed for overload tests
+    // load = (wire bytes/message) / (interarrival * link rate)
+    //   => mean gap = meanWireBytes * psPerByte / load.
+    const double psPerByte =
+        static_cast<double>(net_.config().hostLink.psPerByte);
+    meanGap_ = static_cast<Duration>(
+        std::llround(dist_.meanWireBytes() * psPerByte / cfg_.load));
+
+    Rng master(cfg_.seed);
+    rngs_.reserve(net_.hostCount());
+    for (int h = 0; h < net_.hostCount(); h++) rngs_.push_back(master.fork());
+}
+
+void TrafficGenerator::start() {
+    for (HostId h = 0; h < net_.hostCount(); h++) {
+        // Random phase so hosts don't fire in lockstep at t=start.
+        const Duration phase =
+            static_cast<Duration>(rngs_[h].exponential(toSeconds(meanGap_)) *
+                                  static_cast<double>(kSecond));
+        net_.loop().at(cfg_.start + phase, [this, h] { scheduleNext(h); });
+    }
+}
+
+void TrafficGenerator::scheduleNext(HostId h) {
+    if (net_.loop().now() >= cfg_.stop) return;
+
+    Message m;
+    m.id = net_.nextMsgId();
+    m.src = h;
+    HostId dst = static_cast<HostId>(rngs_[h].below(net_.hostCount() - 1));
+    if (dst >= h) dst++;
+    m.dst = dst;
+    m.length = dist_.sample(rngs_[h]);
+    net_.sendMessage(m);
+    m.created = net_.loop().now();
+    generated_++;
+    generatedBytes_ += m.length;
+    if (onCreate_) onCreate_(m);
+
+    const Duration gap = static_cast<Duration>(
+        rngs_[h].exponential(toSeconds(meanGap_)) * static_cast<double>(kSecond));
+    net_.loop().after(std::max<Duration>(1, gap), [this, h] { scheduleNext(h); });
+}
+
+}  // namespace homa

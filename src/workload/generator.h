@@ -1,0 +1,54 @@
+// Open-loop Poisson traffic generation (§5.2 methodology).
+//
+// Each host creates new one-way messages according to a Poisson process;
+// sizes come from the chosen workload; destinations are uniform over the
+// other hosts. The per-host arrival rate is calibrated so the aggregate
+// offered load is the requested fraction of total host-link bandwidth,
+// counting on-the-wire bytes of goodput data packets (payload + headers +
+// framing).
+#pragma once
+
+#include <functional>
+
+#include "sim/network.h"
+#include "workload/workloads.h"
+
+namespace homa {
+
+struct TrafficConfig {
+    WorkloadId workload = WorkloadId::W3;
+    double load = 0.8;        // fraction of aggregate host-link bandwidth
+    uint64_t seed = 99;
+    Time start = 0;
+    Time stop = milliseconds(10);  // stop *generating* at this time
+};
+
+class TrafficGenerator {
+public:
+    /// `onCreate` (optional) observes every generated message.
+    TrafficGenerator(Network& net, TrafficConfig cfg,
+                     std::function<void(const Message&)> onCreate = nullptr);
+
+    /// Schedule the generation processes on the network's event loop.
+    void start();
+
+    uint64_t generatedMessages() const { return generated_; }
+    int64_t generatedBytes() const { return generatedBytes_; }
+
+    /// Mean interarrival time per host for this config.
+    Duration meanInterarrival() const { return meanGap_; }
+
+private:
+    void scheduleNext(HostId h);
+
+    Network& net_;
+    TrafficConfig cfg_;
+    const SizeDistribution& dist_;
+    std::function<void(const Message&)> onCreate_;
+    Duration meanGap_ = 0;
+    std::vector<Rng> rngs_;  // one independent stream per host
+    uint64_t generated_ = 0;
+    int64_t generatedBytes_ = 0;
+};
+
+}  // namespace homa

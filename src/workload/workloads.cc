@@ -1,0 +1,84 @@
+#include "workload/workloads.h"
+
+#include <stdexcept>
+
+namespace homa {
+namespace {
+
+const SizeDistribution& w1() {
+    // Top-decile anchors: memcached values cluster well under a few KB
+    // (the ETC model); without them the log-linear tail to 16 KB would
+    // push W1's mean above W2's, breaking Figure 1's ordering.
+    static const SizeDistribution d(
+        "W1", 1, {2, 3, 5, 11, 28, 85, 167, 291, 508, 16129},
+        /*quantum=*/1,
+        {{0.95, 1000}, {0.99, 3000}});
+    return d;
+}
+
+// W2 and W3 carry extra top-decile anchors because their extreme tails are
+// thin in the real traces: naive log-linear interpolation from the 90%
+// decile to the max would put most of the *byte* mass in the extreme tail,
+// contradicting facts the paper states. The anchors below were fitted so
+// that, with RTTbytes ~= 9.6 KB:
+//  * W2's unscheduled byte fraction is ~0.80 and it gets 6 of 8 priority
+//    levels for unscheduled traffic (Figure 4's exact example);
+//  * W3 splits the levels 4/4 (Figure 21) and the 2-level byte-balancing
+//    cutoff lands near the paper's 1930 bytes (Figure 18).
+
+const SizeDistribution& w2() {
+    static const SizeDistribution d(
+        "W2", 2, {3, 34, 58, 171, 269, 320, 366, 427, 512, 262144},
+        /*quantum=*/1,
+        {{0.99, 3000}, {0.999, 20000}});
+    return d;
+}
+
+const SizeDistribution& w3() {
+    static const SizeDistribution d(
+        "W3", 24, {36, 77, 110, 158, 268, 313, 402, 573, 1755, 5114695},
+        /*quantum=*/1,
+        {{0.995, 6000}, {0.9995, 80000}});
+    return d;
+}
+
+const SizeDistribution& w4() {
+    static const SizeDistribution d(
+        "W4", 256, {315, 376, 502, 561, 662, 960, 6387, 49408, 120373, 10000000});
+    return d;
+}
+
+const SizeDistribution& w5() {
+    // Full-packet quantized: ticks are exact multiples of 1442 bytes
+    // (5, 15, 20, 35, 49, 187, 734, 1533, 8001, 20000 packets).
+    static const SizeDistribution d(
+        "W5", 1442,
+        {7210, 21630, 28840, 50470, 70658, 269654, 1058428, 2210586, 11537442,
+         28840000},
+        1442);
+    return d;
+}
+
+}  // namespace
+
+const SizeDistribution& workload(WorkloadId id) {
+    switch (id) {
+        case WorkloadId::W1: return w1();
+        case WorkloadId::W2: return w2();
+        case WorkloadId::W3: return w3();
+        case WorkloadId::W4: return w4();
+        case WorkloadId::W5: return w5();
+    }
+    throw std::invalid_argument("unknown workload");
+}
+
+const char* workloadName(WorkloadId id) { return workload(id).name().c_str(); }
+
+WorkloadId workloadFromName(const std::string& name) {
+    for (WorkloadId id : kAllWorkloads) {
+        if (workload(id).name() == name) return id;
+    }
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace homa

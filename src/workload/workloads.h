@@ -1,0 +1,25 @@
+// The five workloads of Figure 1.
+//
+// W1: Facebook memcached (ETC model), W2: Google search app, W3: aggregated
+// Google datacenter RPCs, W4: Facebook Hadoop, W5: DCTCP web search. The
+// decile points come from the x-axis ticks of Figure 12 (which are, by the
+// paper's construction, the 10%..100% quantiles of each workload). W5 is
+// quantized to full 1442-byte packets, matching the variant the paper used
+// so the NDP simulator could run it.
+#pragma once
+
+#include "workload/distribution.h"
+
+namespace homa {
+
+enum class WorkloadId { W1, W2, W3, W4, W5 };
+
+const SizeDistribution& workload(WorkloadId id);
+const char* workloadName(WorkloadId id);
+WorkloadId workloadFromName(const std::string& name);
+
+constexpr WorkloadId kAllWorkloads[] = {WorkloadId::W1, WorkloadId::W2,
+                                        WorkloadId::W3, WorkloadId::W4,
+                                        WorkloadId::W5};
+
+}  // namespace homa

@@ -1,0 +1,219 @@
+// Behavioural tests for the baseline protocols on the simulated network.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "driver/oracle.h"
+
+namespace homa {
+namespace {
+
+struct TestNet {
+    NetworkConfig cfg;
+    std::unique_ptr<Network> net;
+    std::vector<std::pair<Message, DeliveryInfo>> delivered;
+
+    explicit TestNet(ProtocolConfig proto,
+                 NetworkConfig net_ = NetworkConfig::fatTree144(),
+                 WorkloadId wl = WorkloadId::W3)
+        : cfg(net_) {
+        if (!cfg.switchQdisc) cfg.switchQdisc = switchQdiscFor(proto);
+        net = std::make_unique<Network>(
+            cfg, makeTransportFactory(proto, cfg, &workload(wl)));
+        net->setDeliveryCallback(
+            [this](const Message& m, const DeliveryInfo& i) {
+                delivered.emplace_back(m, i);
+            });
+    }
+
+    Message send(HostId src, HostId dst, uint32_t len) {
+        Message m;
+        m.id = net->nextMsgId();
+        m.src = src;
+        m.dst = dst;
+        m.length = len;
+        net->sendMessage(m);
+        m.created = net->loop().now();
+        return m;
+    }
+};
+
+ProtocolConfig proto(Protocol kind) {
+    ProtocolConfig p;
+    p.kind = kind;
+    return p;
+}
+
+class BaselineDelivery : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(BaselineDelivery, SingleMessageArrivesIntact) {
+    TestNet run(proto(GetParam()));
+    run.send(0, 100, 12345);
+    run.net->loop().run();
+    ASSERT_EQ(run.delivered.size(), 1u);
+    EXPECT_EQ(run.delivered[0].first.length, 12345u);
+}
+
+TEST_P(BaselineDelivery, MixOfSizesAllDeliver) {
+    TestNet run(proto(GetParam()));
+    Rng rng(11);
+    int sent = 0;
+    for (int i = 0; i < 60; i++) {
+        HostId src = static_cast<HostId>(rng.below(144));
+        HostId dst = static_cast<HostId>(rng.below(144));
+        if (src == dst) continue;
+        run.send(src, dst, 1 + static_cast<uint32_t>(rng.below(100000)));
+        sent++;
+    }
+    run.net->loop().run();
+    EXPECT_EQ(static_cast<int>(run.delivered.size()), sent);
+}
+
+TEST_P(BaselineDelivery, FanInToOneReceiver) {
+    TestNet run(proto(GetParam()));
+    for (int s = 1; s <= 20; s++) run.send(static_cast<HostId>(s), 0, 30000);
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 20u);
+}
+
+TEST_P(BaselineDelivery, LongTransferFinishesNearLineRate) {
+    TestNet run(proto(GetParam()));
+    const uint32_t size = 2'000'000;
+    Message m = run.send(0, 143, size);
+    run.net->loop().run();
+    ASSERT_EQ(run.delivered.size(), 1u);
+    const double secs = toSeconds(run.delivered[0].second.completed - m.created);
+    const double lineRate = static_cast<double>(messageWireBytes(size)) / 1.25e9;
+    EXPECT_LT(secs, 2.0 * lineRate + 100e-6) << protocolName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, BaselineDelivery,
+    ::testing::Values(Protocol::Homa, Protocol::Basic, Protocol::PHost,
+                      Protocol::Pias, Protocol::PFabric, Protocol::Ndp,
+                      Protocol::StreamSC, Protocol::StreamMC),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+        std::string n = protocolName(info.param);
+        n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+        return n;
+    });
+
+TEST(StreamingHol, SingleConnectionBlocksShortBehindLong) {
+    // The Figure 8 story: on one stream, a short message enqueued behind a
+    // long one waits for all of it; with per-message connections it does
+    // not.
+    auto measure = [](Protocol kind) {
+        TestNet run(proto(kind));
+        run.send(0, 1, 5'000'000);  // ~4 ms of wire time
+        Message shortMsg;
+        Time done = 0;
+        run.net->loop().at(microseconds(10), [&] {
+            shortMsg = run.send(0, 1, 200);
+        });
+        run.net->loop().run();
+        for (const auto& [m, info] : run.delivered) {
+            if (m.length == 200) done = info.completed - shortMsg.created;
+        }
+        return done;
+    };
+    const Duration sc = measure(Protocol::StreamSC);
+    const Duration mc = measure(Protocol::StreamMC);
+    ASSERT_GT(sc, 0);
+    ASSERT_GT(mc, 0);
+    // SC: the short message waits ~the whole long transfer (milliseconds).
+    EXPECT_GT(sc, milliseconds(3));
+    // MC: it shares the link fairly and finishes ~100x sooner.
+    EXPECT_LT(mc * 50, sc);
+}
+
+TEST(PFabricBehavior, ShortMessagePreemptsLongViaFineGrainedPriority) {
+    TestNet run(proto(Protocol::PFabric));
+    run.send(1, 0, 3'000'000);
+    Message shortMsg;
+    run.net->loop().at(microseconds(500), [&] { shortMsg = run.send(2, 0, 500); });
+    run.net->loop().run();
+    ASSERT_EQ(run.delivered.size(), 2u);
+    EXPECT_EQ(run.delivered[0].first.length, 500u) << "short finishes first";
+    Oracle oracle(run.cfg);
+    const Duration elapsed = run.delivered[0].second.completed - shortMsg.created;
+    EXPECT_LT(elapsed, 3 * oracle.bestOneWay(500));
+}
+
+TEST(PFabricBehavior, DropsAndRecoversUnderOverload) {
+    // 30 senders x 100KB into one receiver overflows the tiny pFabric
+    // buffers; retransmission must still complete every message.
+    TestNet run(proto(Protocol::PFabric));
+    for (int s = 1; s <= 30; s++) run.send(static_cast<HostId>(s), 0, 100'000);
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 30u);
+}
+
+TEST(NdpBehavior, TrimmingKeepsQueuesBoundedAndRecovers) {
+    TestNet run(proto(Protocol::Ndp));
+    for (int s = 1; s <= 25; s++) run.send(static_cast<HostId>(s), 0, 50'000);
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 25u);
+    // The 8-packet data cap must have held everywhere; trimmed headers
+    // bypass it (separate header queue), so allow a headers' worth of slack.
+    for (const auto* p : run.net->torDownlinkPorts()) {
+        EXPECT_LE(p->stats().maxQueueBytes, 8 * 1500 + 200 * kHeaderBytes);
+    }
+}
+
+TEST(NdpBehavior, FairShareNotSrpt) {
+    // Two messages of very different sizes arriving together: NDP's
+    // round-robin pulls interleave them, so the short one's completion is
+    // delayed relative to SRPT but the long one is not starved.
+    TestNet run(proto(Protocol::Ndp));
+    run.send(1, 0, 20 * 1442);
+    run.send(2, 0, 200 * 1442);
+    run.net->loop().run();
+    ASSERT_EQ(run.delivered.size(), 2u);
+    EXPECT_EQ(run.delivered[0].first.length, 20u * 1442);
+}
+
+TEST(PHostBehavior, TokensScheduleBeyondFirstRtt) {
+    TestNet run(proto(Protocol::PHost));
+    Message m = run.send(0, 100, 100'000);  // ~10 RTTs of data
+    run.net->loop().run();
+    ASSERT_EQ(run.delivered.size(), 1u);
+    Oracle oracle(run.cfg);
+    const Duration elapsed = run.delivered[0].second.completed - m.created;
+    EXPECT_LT(static_cast<double>(elapsed),
+              1.5 * static_cast<double>(oracle.bestOneWay(100'000)));
+}
+
+TEST(PiasBehavior, EcnMarksAppearUnderCongestion) {
+    TestNet run(proto(Protocol::Pias));
+    for (int s = 1; s <= 40; s++) run.send(static_cast<HostId>(s), 0, 400'000);
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 40u);
+    uint64_t marks = 0;
+    for (const auto* p : run.net->torDownlinkPorts()) {
+        marks += p->qdisc().stats().ecnMarked;
+    }
+    EXPECT_GT(marks, 0u) << "40x400KB fan-in must cross the ECN threshold";
+}
+
+TEST(BasicBehavior, GrantsEveryoneNoWithholding) {
+    TestNet run(proto(Protocol::Basic));
+    for (int s = 1; s <= 30; s++) run.send(static_cast<HostId>(s), 0, 60'000);
+    run.net->loop().runUntil(microseconds(300));
+    // Basic has no overcommitment limit, so nothing is ever withheld.
+    EXPECT_FALSE(run.net->host(0).transport().hasWithheldWork());
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 30u);
+}
+
+TEST(HomaBehavior, WithholdsBeyondOvercommitDegree) {
+    TestNet run(proto(Protocol::Homa));
+    // W3 allocation: 4 scheduled levels -> overcommitment degree 4. With 12
+    // long inbound messages, grants must be withheld from some.
+    for (int s = 1; s <= 12; s++) run.send(static_cast<HostId>(s), 0, 200'000);
+    run.net->loop().runUntil(microseconds(400));
+    EXPECT_TRUE(run.net->host(0).transport().hasWithheldWork());
+    run.net->loop().run();
+    EXPECT_EQ(run.delivered.size(), 12u);
+}
+
+}  // namespace
+}  // namespace homa

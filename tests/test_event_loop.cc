@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace homa {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+    EventLoop loop;
+    EXPECT_EQ(loop.now(), 0);
+    EXPECT_EQ(loop.pendingEvents(), 0u);
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(30, [&] { order.push_back(3); });
+    loop.at(10, [&] { order.push_back(1); });
+    loop.at(20, [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, TiesRunInSchedulingOrder) {
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++) {
+        loop.at(5, [&, i] { order.push_back(i); });
+    }
+    loop.run();
+    for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, AfterSchedulesRelative) {
+    EventLoop loop;
+    Time fired = -1;
+    loop.at(100, [&] {
+        loop.after(50, [&] { fired = loop.now(); });
+    });
+    loop.run();
+    EXPECT_EQ(fired, 150);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+    EventLoop loop;
+    Time fired = -1;
+    loop.at(100, [&] {
+        loop.at(10, [&] { fired = loop.now(); });  // in the past
+    });
+    loop.run();
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(EventLoop, RunOneReturnsFalseWhenEmpty) {
+    EventLoop loop;
+    EXPECT_FALSE(loop.runOne());
+    loop.at(1, [] {});
+    EXPECT_TRUE(loop.runOne());
+    EXPECT_FALSE(loop.runOne());
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWithoutEvents) {
+    EventLoop loop;
+    loop.runUntil(12345);
+    EXPECT_EQ(loop.now(), 12345);
+}
+
+TEST(EventLoop, RunUntilExecutesOnlyDueEvents) {
+    EventLoop loop;
+    int ran = 0;
+    loop.at(10, [&] { ran++; });
+    loop.at(20, [&] { ran++; });
+    loop.runUntil(15);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(loop.now(), 15);
+    EXPECT_EQ(loop.pendingEvents(), 1u);
+}
+
+TEST(EventLoop, RunWithLimitStops) {
+    EventLoop loop;
+    for (int i = 0; i < 100; i++) loop.at(i, [] {});
+    EXPECT_EQ(loop.run(10), 10u);
+    EXPECT_EQ(loop.pendingEvents(), 90u);
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+    EventLoop loop;
+    for (int i = 0; i < 7; i++) loop.at(i, [] {});
+    loop.run();
+    EXPECT_EQ(loop.executedEvents(), 7u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+    EventLoop loop;
+    int fired = 0;
+    Timer t(loop, [&] { fired++; });
+    t.schedule(microseconds(5));
+    EXPECT_TRUE(t.armed());
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.armed());
+    EXPECT_EQ(loop.now(), microseconds(5));
+}
+
+TEST(Timer, CancelPreventsFiring) {
+    EventLoop loop;
+    int fired = 0;
+    Timer t(loop, [&] { fired++; });
+    t.schedule(100);
+    t.cancel();
+    loop.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RescheduleSupersedesPriorArming) {
+    EventLoop loop;
+    std::vector<Time> fireTimes;
+    Timer t(loop, [&] { fireTimes.push_back(loop.now()); });
+    t.schedule(100);
+    t.schedule(200);  // supersedes
+    loop.run();
+    ASSERT_EQ(fireTimes.size(), 1u);
+    EXPECT_EQ(fireTimes[0], 200);
+}
+
+TEST(Timer, CanRearmFromCallback) {
+    EventLoop loop;
+    int fired = 0;
+    Timer* tp = nullptr;
+    Timer t(loop, [&] {
+        fired++;
+        if (fired < 3) tp->schedule(10);
+    });
+    tp = &t;
+    t.schedule(10);
+    loop.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(Timer, DestructionCancelsSafely) {
+    EventLoop loop;
+    int fired = 0;
+    {
+        Timer t(loop, [&] { fired++; });
+        t.schedule(50);
+    }
+    loop.run();  // stale heap entry must not crash or fire
+    EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace homa

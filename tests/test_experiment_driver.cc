@@ -1,0 +1,155 @@
+// Integration tests of the experiment harness itself: load calibration,
+// measurement windows, utilization accounting, overload detection.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "driver/rpc_experiment.h"
+
+namespace homa {
+namespace {
+
+ExperimentConfig smallConfig(WorkloadId wl, double load,
+                             Protocol kind = Protocol::Homa) {
+    ExperimentConfig cfg;
+    cfg.proto.kind = kind;
+    cfg.traffic.workload = wl;
+    cfg.traffic.load = load;
+    cfg.traffic.stop = milliseconds(4);
+    cfg.drainGrace = milliseconds(30);
+    return cfg;
+}
+
+TEST(ExperimentDriver, ModerateLoadKeepsUp) {
+    // W2: light enough tail that a short window gives a clean verdict.
+    ExperimentResult r = runExperiment(smallConfig(WorkloadId::W2, 0.5));
+    EXPECT_TRUE(r.keptUp);
+    EXPECT_GT(r.generated, 1000u);
+    EXPECT_EQ(r.delivered, r.generated);
+    EXPECT_EQ(r.switchDrops, 0u);
+}
+
+TEST(ExperimentDriver, UtilizationTracksOfferedLoad) {
+    // W2's tail is light enough that a short window measures utilization
+    // decently: expect downlink utilization within ~25% of offered.
+    ExperimentResult r = runExperiment(smallConfig(WorkloadId::W2, 0.6));
+    EXPECT_GT(r.downlinkUtilization, 0.45);
+    EXPECT_LT(r.downlinkUtilization, 0.75);
+}
+
+TEST(ExperimentDriver, GrossOverloadDetected) {
+    // 120% offered load cannot be sustained by anything.
+    ExperimentResult r = runExperiment(smallConfig(WorkloadId::W2, 1.2));
+    EXPECT_FALSE(r.keptUp);
+}
+
+TEST(ExperimentDriver, SlowdownsAreAtLeastOne) {
+    ExperimentResult r = runExperiment(smallConfig(WorkloadId::W3, 0.7));
+    EXPECT_GE(r.slowdown->overallPercentile(0.0), 1.0 - 1e-9);
+    EXPECT_GE(r.slowdown->overallPercentile(0.99),
+              r.slowdown->overallPercentile(0.50));
+}
+
+TEST(ExperimentDriver, PriorityUsageSumsBelowUtilization) {
+    ExperimentResult r = runExperiment(smallConfig(WorkloadId::W3, 0.6));
+    double sum = 0;
+    for (double v : r.prioUsage) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, r.downlinkUtilization, 1e-6);
+}
+
+TEST(ExperimentDriver, HigherLoadRaisesTailSlowdown) {
+    ExperimentResult lo = runExperiment(smallConfig(WorkloadId::W3, 0.4));
+    ExperimentResult hi = runExperiment(smallConfig(WorkloadId::W3, 0.85));
+    EXPECT_GT(hi.slowdown->overallPercentile(0.99),
+              lo.slowdown->overallPercentile(0.99));
+}
+
+TEST(ExperimentDriver, DeterministicGivenSeed) {
+    auto run = [] {
+        ExperimentResult r = runExperiment(smallConfig(WorkloadId::W1, 0.6));
+        return std::make_tuple(r.generated, r.delivered,
+                               r.slowdown->overallPercentile(0.99));
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ExperimentDriver, SeedChangesTraffic) {
+    ExperimentConfig a = smallConfig(WorkloadId::W1, 0.6);
+    ExperimentConfig b = a;
+    b.traffic.seed = a.traffic.seed + 1;
+    EXPECT_NE(runExperiment(a).generated, runExperiment(b).generated);
+}
+
+TEST(ExperimentDriver, WastedBandwidthProbeOnlyWhenRequested) {
+    ExperimentConfig cfg = smallConfig(WorkloadId::W4, 0.7);
+    cfg.measureWastedBandwidth = false;
+    EXPECT_EQ(runExperiment(cfg).wastedBandwidth, 0.0);
+}
+
+class ProtocolsUnderLoad
+    : public ::testing::TestWithParam<std::tuple<Protocol, double>> {};
+
+TEST_P(ProtocolsUnderLoad, DeliversAndStaysSane) {
+    auto [kind, load] = GetParam();
+    ExperimentConfig cfg = smallConfig(WorkloadId::W3, load, kind);
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GT(r.generated, 500u);
+    // Every protocol must deliver nearly everything at these easy loads.
+    EXPECT_GE(static_cast<double>(r.delivered),
+              0.98 * static_cast<double>(r.generated))
+        << protocolName(kind) << " @ " << load;
+    EXPECT_GE(r.slowdown->overallPercentile(0.5), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProtocolsUnderLoad,
+    ::testing::Combine(::testing::Values(Protocol::Homa, Protocol::Basic,
+                                         Protocol::PHost, Protocol::Pias,
+                                         Protocol::PFabric),
+                       ::testing::Values(0.3, 0.55)),
+    [](const auto& info) {
+        std::string n = protocolName(std::get<0>(info.param));
+        n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+        return n + "_" +
+               std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(RpcExperiment, EchoSlowdownsReasonableAtModerateLoad) {
+    RpcExperimentConfig cfg;
+    cfg.workload = WorkloadId::W3;
+    cfg.load = 0.5;
+    cfg.stop = milliseconds(8);
+    RpcExperimentResult r = runRpcExperiment(cfg);
+    EXPECT_TRUE(r.keptUp);
+    EXPECT_GT(r.issued, 300u);
+    EXPECT_GE(r.slowdown->overallPercentile(0.5), 1.0 - 1e-9);
+    EXPECT_LT(r.slowdown->overallPercentile(0.5), 3.0);
+}
+
+TEST(RpcExperiment, HomaBeatsStreamingTail) {
+    RpcExperimentConfig cfg;
+    cfg.workload = WorkloadId::W3;
+    cfg.load = 0.7;
+    cfg.stop = milliseconds(8);
+    RpcExperimentResult homa = runRpcExperiment(cfg);
+    cfg.proto.kind = Protocol::StreamSC;
+    RpcExperimentResult stream = runRpcExperiment(cfg);
+    EXPECT_LT(10 * homa.slowdown->overallPercentile(0.99),
+              stream.slowdown->overallPercentile(0.99));
+}
+
+TEST(FindMaxLoad, DetectsACapForPHost) {
+    // pHost (no overcommitment) must cap strictly below Homa on W3.
+    ExperimentConfig base = smallConfig(WorkloadId::W3, 0.5, Protocol::PHost);
+    base.traffic.stop = milliseconds(5);
+    const double phost = findMaxLoad(base, 50, 10, 95);
+    base.proto.kind = Protocol::Homa;
+    const double homa = findMaxLoad(base, 50, 10, 95);
+    EXPECT_GE(homa, phost);
+    EXPECT_LT(phost, 95.0);
+}
+
+}  // namespace
+}  // namespace homa

@@ -1,0 +1,129 @@
+// Tests for the optional extensions (the paper's §3.5/§5.1 future-work
+// alternatives): oldest-message bandwidth reservation and fixed
+// overcommitment degree.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "driver/oracle.h"
+
+namespace homa {
+namespace {
+
+struct TestNet {
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    std::unique_ptr<Network> net;
+    std::vector<std::pair<Message, DeliveryInfo>> delivered;
+
+    explicit TestNet(HomaConfig homa) {
+        net = std::make_unique<Network>(
+            cfg, HomaTransport::factory(homa, cfg, &workload(WorkloadId::W4)));
+        net->setDeliveryCallback(
+            [this](const Message& m, const DeliveryInfo& i) {
+                delivered.emplace_back(m, i);
+            });
+    }
+
+    Message send(HostId src, HostId dst, uint32_t len) {
+        Message m;
+        m.id = net->nextMsgId();
+        m.src = src;
+        m.dst = dst;
+        m.length = len;
+        net->sendMessage(m);
+        m.created = net->loop().now();
+        return m;
+    }
+};
+
+Duration completionOf(const TestNet& t, MsgId id) {
+    for (const auto& [m, info] : t.delivered) {
+        if (m.id == id) return info.completed - m.created;
+    }
+    return -1;
+}
+
+TEST(OldestReservation, OldMessageMakesProgressDespiteSrptPressure) {
+    // One old 1MB message competes with a continuous stream of newer,
+    // shorter messages that SRPT always prefers. With the reservation the
+    // old message finishes much sooner.
+    auto run = [](double reservation) {
+        HomaConfig cfg;
+        cfg.oldestReservation = reservation;
+        TestNet t(cfg);
+        Message old = t.send(1, 0, 1'000'000);
+        // Newer 200KB messages arrive every 150us from rotating senders;
+        // each is shorter-remaining than the old message for its lifetime.
+        for (int i = 0; i < 40; i++) {
+            t.net->loop().at(microseconds(20 + 150 * i), [&t, i] {
+                t.send(static_cast<HostId>(2 + (i % 13)), 0, 200'000);
+            });
+        }
+        t.net->loop().run();
+        return completionOf(t, old.id);
+    };
+    const Duration without = run(0.0);
+    const Duration with = run(0.10);
+    ASSERT_GT(without, 0);
+    ASSERT_GT(with, 0);
+    EXPECT_LT(with, without) << "reservation must help the starved message";
+}
+
+TEST(OldestReservation, NoEffectWhenAlone) {
+    // A lone message behaves identically with or without the reservation.
+    auto run = [](double reservation) {
+        HomaConfig cfg;
+        cfg.oldestReservation = reservation;
+        TestNet t(cfg);
+        Message m = t.send(1, 0, 500'000);
+        t.net->loop().run();
+        return completionOf(t, m.id);
+    };
+    EXPECT_EQ(run(0.0), run(0.15));
+}
+
+TEST(OldestReservation, AllMessagesStillComplete) {
+    HomaConfig cfg;
+    cfg.oldestReservation = 0.10;
+    TestNet t(cfg);
+    for (int s = 1; s <= 15; s++) {
+        t.send(static_cast<HostId>(s), 0, 50'000 + 1000 * s);
+    }
+    t.net->loop().run();
+    EXPECT_EQ(t.delivered.size(), 15u);
+}
+
+TEST(FixedOvercommit, DegreeOneGrantsSingleMessage) {
+    HomaConfig cfg;
+    cfg.overcommitDegree = 1;
+    TestNet t(cfg);
+    for (int s = 1; s <= 5; s++) t.send(static_cast<HostId>(s), 0, 100'000);
+    t.net->loop().runUntil(microseconds(200));
+    EXPECT_TRUE(t.net->host(0).transport().hasWithheldWork());
+    t.net->loop().run();
+    EXPECT_EQ(t.delivered.size(), 5u);
+}
+
+TEST(FixedOvercommit, MoreOvercommitmentWastesLessBandwidth) {
+    // The essence of Figure 16: receiver bandwidth wasted by withheld
+    // grants shrinks monotonically as the overcommitment degree grows.
+    auto wasted = [](int degree) {
+        ExperimentConfig cfg;
+        cfg.net = NetworkConfig::fatTree144();
+        cfg.proto.homa.logicalPriorities = 1 + degree;
+        cfg.proto.homa.unschedPriorities = 1;
+        cfg.traffic.workload = WorkloadId::W4;
+        cfg.traffic.load = 0.8;
+        cfg.traffic.stop = milliseconds(6);
+        cfg.measureWastedBandwidth = true;
+        return runExperiment(cfg).wastedBandwidth;
+    };
+    const double w1 = wasted(1);
+    const double w4 = wasted(4);
+    const double w7 = wasted(7);
+    EXPECT_GT(w1, 0.02) << "degree 1 must waste noticeable bandwidth";
+    EXPECT_GT(w1, 2 * w4);
+    EXPECT_GE(w4, w7);
+}
+
+}  // namespace
+}  // namespace homa

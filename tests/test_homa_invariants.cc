@@ -1,0 +1,148 @@
+// System-wide property tests: Homa invariants under randomized traffic,
+// parameterized across workloads and loads.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "workload/generator.h"
+
+namespace homa {
+namespace {
+
+class HomaInvariants
+    : public ::testing::TestWithParam<std::tuple<WorkloadId, int>> {};
+
+TEST_P(HomaInvariants, RandomTrafficUpholdsProtocolGuarantees) {
+    const auto [wl, loadPct] = GetParam();
+    NetworkConfig cfg = NetworkConfig::fatTree144();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(wl)));
+
+    uint64_t delivered = 0;
+    int64_t deliveredBytes = 0;
+    int64_t duplicateBytes = 0;
+    double worstSlowdownBelowOne = 1.0;
+    Oracle oracle(cfg);
+    net.setDeliveryCallback([&](const Message& m, const DeliveryInfo& info) {
+        delivered++;
+        deliveredBytes += m.length;
+        // Duplicate payload can legitimately appear: under load, granted
+        // low-priority data may be starved long enough that the receiver's
+        // RESEND races the original copy (at-least-once, §3.8). It must
+        // stay rare.
+        duplicateBytes += info.duplicateBytes;
+        // No message may beat the placement-aware best case.
+        const bool intra = m.src / 16 == m.dst / 16;
+        const Duration best = oracle.bestOneWay(m.length, intra);
+        const double slowdown = static_cast<double>(info.completed - m.created) /
+                                static_cast<double>(best);
+        worstSlowdownBelowOne = std::min(worstSlowdownBelowOne, slowdown);
+    });
+
+    TrafficConfig tcfg;
+    tcfg.workload = wl;
+    tcfg.load = loadPct / 100.0;
+    tcfg.stop = milliseconds(2);
+    tcfg.seed = 1234 + loadPct;
+    TrafficGenerator gen(net, tcfg);
+    gen.start();
+    net.loop().run();  // run to full drain
+
+    // Conservation: every generated message delivered, every byte once.
+    EXPECT_EQ(delivered, gen.generatedMessages());
+    EXPECT_EQ(deliveredBytes, gen.generatedBytes());
+    // Retransmission duplicates bounded: well under 0.5% of all payload.
+    EXPECT_LT(static_cast<double>(duplicateBytes),
+              0.005 * static_cast<double>(gen.generatedBytes()) + 20000.0);
+    // Physics: nothing faster than the oracle.
+    EXPECT_GE(worstSlowdownBelowOne, 1.0 - 1e-9);
+
+    // No switch ever dropped a packet (Table 1's claim at these loads).
+    uint64_t drops = 0;
+    for (const auto* p : net.torDownlinkPorts()) drops += p->qdisc().stats().dropped;
+    for (const auto* p : net.torUplinkPorts()) drops += p->qdisc().stats().dropped;
+    for (const auto* p : net.aggrDownlinkPorts()) drops += p->qdisc().stats().dropped;
+    EXPECT_EQ(drops, 0u);
+
+    // Buffer occupancy stays within the overcommitment bound: active
+    // messages x RTTbytes plus unscheduled collisions. 32 RTTbytes is a
+    // generous envelope the paper's Table 1 maxima also respect.
+    for (const auto* p : net.torDownlinkPorts()) {
+        EXPECT_LT(p->stats().maxQueueBytes, 32 * 9700) << "downlink";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HomaInvariants,
+    ::testing::Combine(::testing::Values(WorkloadId::W1, WorkloadId::W2,
+                                         WorkloadId::W3, WorkloadId::W4),
+                       ::testing::Values(30, 60, 80)),
+    [](const auto& info) {
+        return workload(std::get<0>(info.param)).name() + "_load" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(HomaInvariantsEdge, ZeroByteMessagesRejectedByAssert) {
+    // Message lengths must be >= 1 (the transport asserts); document the
+    // contract rather than crash in release builds: smallest legal size.
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W1)));
+    int delivered = 0;
+    net.setDeliveryCallback([&](const Message&, const DeliveryInfo&) {
+        delivered++;
+    });
+    Message m;
+    m.id = net.nextMsgId();
+    m.src = 0;
+    m.dst = 1;
+    m.length = 1;
+    net.sendMessage(m);
+    net.loop().run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(HomaInvariantsEdge, MaxSizedW5MessageDelivers) {
+    NetworkConfig cfg = NetworkConfig::fatTree144();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W5)));
+    int delivered = 0;
+    net.setDeliveryCallback([&](const Message& m, const DeliveryInfo&) {
+        EXPECT_EQ(m.length, 28840000u);
+        delivered++;
+    });
+    Message m;
+    m.id = net.nextMsgId();
+    m.src = 7;
+    m.dst = 99;
+    m.length = 28840000;  // W5 maximum: 20000 full packets
+    net.sendMessage(m);
+    net.loop().run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(HomaInvariantsEdge, SimultaneousBidirectionalTraffic) {
+    // A pair of hosts exchanging large messages in both directions must
+    // not deadlock (grants flow against data on full-duplex links).
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W3)));
+    int delivered = 0;
+    net.setDeliveryCallback([&](const Message&, const DeliveryInfo&) {
+        delivered++;
+    });
+    for (int i = 0; i < 4; i++) {
+        Message ab;
+        ab.id = net.nextMsgId();
+        ab.src = 0;
+        ab.dst = 1;
+        ab.length = 500000;
+        net.sendMessage(ab);
+        Message ba;
+        ba.id = net.nextMsgId();
+        ba.src = 1;
+        ba.dst = 0;
+        ba.length = 500000;
+        net.sendMessage(ba);
+    }
+    net.loop().run();
+    EXPECT_EQ(delivered, 8);
+}
+
+}  // namespace
+}  // namespace homa

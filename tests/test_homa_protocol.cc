@@ -1,0 +1,499 @@
+// White-box tests of Homa's protocol mechanisms: grant pacing, scheduled
+// priority assignment, overcommitment, BUSY/RESEND, priority collapsing.
+//
+// These drive a HomaTransport through a mock host so every packet it emits
+// can be inspected without a network.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/homa_transport.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+constexpr int64_t kRtt = 9640;
+
+/// Minimal host: captures pushed packets, pulls on demand.
+class MockHost : public HostServices {
+public:
+    EventLoop& loop() override { return loop_; }
+    HostId id() const override { return 0; }
+    void pushPacket(Packet p) override {
+        p.src = 0;
+        pushed.push_back(p);
+    }
+    void kickNic() override { kicks++; }
+    Rng& rng() override { return rng_; }
+
+    EventLoop loop_;
+    Rng rng_{1};
+    std::vector<Packet> pushed;
+    int kicks = 0;
+};
+
+struct Harness {
+    MockHost host;
+    std::unique_ptr<HomaTransport> transport;
+    std::vector<std::pair<Message, DeliveryInfo>> delivered;
+    PriorityAllocation alloc;
+
+    explicit Harness(HomaConfig cfg = {},
+                     WorkloadId wl = WorkloadId::W3) {
+        alloc = computeAllocation(workload(wl), cfg, kRtt);
+        transport = std::make_unique<HomaTransport>(host, cfg, kRtt, &alloc);
+        transport->setDeliveryCallback(
+            [this](const Message& m, const DeliveryInfo& i) {
+                delivered.emplace_back(m, i);
+            });
+    }
+
+    Message makeMessage(MsgId id, uint32_t len, HostId src = 1) {
+        Message m;
+        m.id = id;
+        m.src = src;
+        m.dst = 0;
+        m.length = len;
+        m.created = host.loop_.now();
+        return m;
+    }
+
+    /// Deliver one DATA packet of message `m` to the transport.
+    void rxData(const Message& m, uint32_t offset, uint32_t len,
+                uint8_t prio = 7) {
+        Packet p;
+        p.type = PacketType::Data;
+        p.src = m.src;
+        p.dst = 0;
+        p.msg = m.id;
+        p.created = m.created;
+        p.offset = offset;
+        p.length = len;
+        p.messageLength = m.length;
+        p.priority = prio;
+        transport->handlePacket(p);
+    }
+
+    std::vector<Packet> takeGrants() {
+        std::vector<Packet> out;
+        for (auto& p : host.pushed) {
+            if (p.type == PacketType::Grant) out.push_back(p);
+        }
+        host.pushed.clear();
+        return out;
+    }
+
+    /// Drain all currently-sendable packets from the sender.
+    std::vector<Packet> pullAll(int limit = 10000) {
+        std::vector<Packet> out;
+        while (limit-- > 0) {
+            auto p = transport->pullPacket();
+            if (!p) break;
+            out.push_back(*p);
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------- sender
+
+TEST(HomaSender, SendsUnscheduledRegionImmediately) {
+    Harness h;
+    Message m = h.makeMessage(1, 100000, /*src=*/0);
+    m.dst = 5;
+    h.transport->sendMessage(m);
+    auto pkts = h.pullAll();
+    int64_t bytes = 0;
+    for (const auto& p : pkts) bytes += p.length;
+    EXPECT_EQ(bytes, kRtt);  // exactly RTTbytes blind
+    EXPECT_GT(h.host.kicks, 0);
+}
+
+TEST(HomaSender, ShortMessageEntirelyUnscheduled) {
+    Harness h;
+    Message m = h.makeMessage(1, 700, 0);
+    m.dst = 5;
+    h.transport->sendMessage(m);
+    auto pkts = h.pullAll();
+    ASSERT_EQ(pkts.size(), 1u);
+    EXPECT_EQ(pkts[0].length, 700u);
+    EXPECT_TRUE(pkts[0].hasFlag(kFlagLast));
+}
+
+TEST(HomaSender, SrptOrderAcrossMessages) {
+    Harness h;
+    Message big = h.makeMessage(1, 8000, 0);
+    big.dst = 5;
+    Message small = h.makeMessage(2, 600, 0);
+    small.dst = 6;
+    h.transport->sendMessage(big);
+    h.transport->sendMessage(small);
+    // First pull: the small message wins despite arriving second.
+    auto p = h.transport->pullPacket();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->msg, 2u);
+    // Then the big one streams out.
+    EXPECT_EQ(h.transport->pullPacket()->msg, 1u);
+}
+
+TEST(HomaSender, UnscheduledPriorityDependsOnMessageSize) {
+    Harness h;  // W3: several unscheduled levels with size cutoffs
+    Message tiny = h.makeMessage(1, 40, 0);
+    tiny.dst = 5;
+    Message mid = h.makeMessage(2, 2000, 0);
+    mid.dst = 6;
+    h.transport->sendMessage(tiny);
+    h.transport->sendMessage(mid);
+    auto pkts = h.pullAll();
+    ASSERT_GE(pkts.size(), 2u);
+    EXPECT_GT(pkts[0].priority, pkts[1].priority)
+        << "smaller message must use a higher unscheduled level";
+}
+
+TEST(HomaSender, StopsAtUnscheduledLimitUntilGranted) {
+    Harness h;
+    Message m = h.makeMessage(7, 50000, 0);
+    m.dst = 5;
+    h.transport->sendMessage(m);
+    auto first = h.pullAll();
+    int64_t sent = 0;
+    for (const auto& p : first) sent += p.length;
+    EXPECT_EQ(sent, kRtt);
+    EXPECT_FALSE(h.transport->pullPacket().has_value());
+
+    // A GRANT reopens the tap with the granted priority.
+    Packet g;
+    g.type = PacketType::Grant;
+    g.msg = 7;
+    g.grantOffset = static_cast<uint32_t>(kRtt) + 5000;
+    g.grantPriority = 2;
+    h.transport->handlePacket(g);
+    auto more = h.pullAll();
+    int64_t granted = 0;
+    for (const auto& p : more) {
+        granted += p.length;
+        EXPECT_EQ(p.priority, 2);  // wire = logical with 8 levels
+    }
+    EXPECT_EQ(granted, 5000);
+}
+
+TEST(HomaSender, WirePriorityCollapsing) {
+    HomaConfig cfg;
+    cfg.wirePriorities = 2;  // HomaP2
+    Harness h(cfg);
+    Message tiny = h.makeMessage(1, 40, 0);
+    tiny.dst = 5;
+    h.transport->sendMessage(tiny);
+    auto pkts = h.pullAll();
+    ASSERT_EQ(pkts.size(), 1u);
+    EXPECT_LT(pkts[0].priority, 2);  // collapsed onto {0, 1}
+}
+
+// -------------------------------------------------------------- receiver
+
+TEST(HomaReceiver, NoGrantNeededForUnscheduledOnlyMessage) {
+    Harness h;
+    Message m = h.makeMessage(1, 5000);
+    h.rxData(m, 0, 1442);
+    EXPECT_TRUE(h.takeGrants().empty());
+}
+
+TEST(HomaReceiver, GrantsKeepRttBytesOutstanding) {
+    Harness h;
+    Message m = h.makeMessage(1, 100000);
+    h.rxData(m, 0, 1442);
+    auto grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantOffset, 1442u + kRtt);
+    // Each further packet advances the grant window by its length.
+    h.rxData(m, 1442, 1442);
+    grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantOffset, 2884u + kRtt);
+}
+
+TEST(HomaReceiver, GrantNeverExceedsMessageLength) {
+    Harness h;
+    Message m = h.makeMessage(1, static_cast<uint32_t>(kRtt) + 1000);
+    h.rxData(m, 0, 1442);
+    auto grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantOffset, m.length);
+}
+
+TEST(HomaReceiver, SingleActiveMessageUsesLowestScheduledLevel) {
+    // Figure 21 at low load: one schedulable message -> P0, leaving higher
+    // levels free for preemption (Figure 5).
+    Harness h;
+    Message m = h.makeMessage(1, 100000);
+    h.rxData(m, 0, 1442);
+    auto grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantPriority, 0);
+}
+
+TEST(HomaReceiver, ShorterMessageGetsHigherScheduledPriority) {
+    Harness h;
+    Message longMsg = h.makeMessage(1, 500000, 1);
+    Message shortMsg = h.makeMessage(2, 60000, 2);
+    h.rxData(longMsg, 0, 1442);
+    h.takeGrants();
+    h.rxData(shortMsg, 0, 1442);
+    auto grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);  // grant for the new (short) message
+    EXPECT_EQ(grants[0].msg, 2u);
+    EXPECT_EQ(grants[0].grantPriority, 1) << "short preempts via level 1";
+    // The long message's next grant drops to level 0.
+    h.rxData(longMsg, 1442, 1442);
+    grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantPriority, 0);
+}
+
+TEST(HomaReceiver, OvercommitmentLimitsActiveSet) {
+    // Degree of overcommitment = number of scheduled levels (§3.5).
+    Harness h;
+    const int degree = h.alloc.schedLevels;
+    const int inbound = degree + 3;
+    for (MsgId id = 1; id <= static_cast<MsgId>(inbound); id++) {
+        Message m = h.makeMessage(id, 100000 + static_cast<uint32_t>(id),
+                                  static_cast<HostId>(id));
+        h.rxData(m, 0, 1442);
+    }
+    std::set<MsgId> grantees;
+    for (const auto& g : h.takeGrants()) grantees.insert(g.msg);
+    EXPECT_EQ(static_cast<int>(grantees.size()), degree);
+    EXPECT_TRUE(h.transport->hasWithheldWork());
+}
+
+TEST(HomaReceiver, CompletionActivatesWithheldMessage) {
+    Harness h;
+    const MsgId last = static_cast<MsgId>(h.alloc.schedLevels + 1);
+    std::vector<Message> msgs;
+    for (MsgId id = 1; id <= last; id++) {
+        msgs.push_back(h.makeMessage(id, 20000, static_cast<HostId>(id)));
+        h.rxData(msgs.back(), 0, 1442);
+    }
+    EXPECT_TRUE(h.transport->hasWithheldWork());
+    h.takeGrants();
+    // Complete message 1 fully.
+    for (uint32_t off = 1442; off < 20000; off += 1442) {
+        h.rxData(msgs[0], off, std::min<uint32_t>(1442, 20000 - off));
+    }
+    ASSERT_EQ(h.delivered.size(), 1u);
+    // The previously-withheld last message now gets grants.
+    bool sawLast = false;
+    for (const auto& g : h.takeGrants()) {
+        if (g.msg == last) sawLast = true;
+    }
+    EXPECT_TRUE(sawLast);
+    EXPECT_FALSE(h.transport->hasWithheldWork());
+}
+
+TEST(HomaReceiver, DeliversOnceDespiteDuplicateTail) {
+    Harness h;
+    Message m = h.makeMessage(1, 2000);
+    h.rxData(m, 0, 1442);
+    h.rxData(m, 1442, 558);
+    ASSERT_EQ(h.delivered.size(), 1u);
+    h.rxData(m, 1442, 558);  // duplicate after completion
+    EXPECT_EQ(h.delivered.size(), 1u);
+}
+
+TEST(HomaReceiver, AccumulatesDelayDecomposition) {
+    Harness h;
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = 1;
+    p.msg = 1;
+    p.created = 0;
+    p.offset = 0;
+    p.length = 1442;
+    p.messageLength = 2000;
+    p.queueingDelay = nanoseconds(300);
+    p.preemptionLag = nanoseconds(700);
+    h.transport->handlePacket(p);
+    p.offset = 1442;
+    p.length = 558;
+    h.transport->handlePacket(p);
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.delivered[0].second.queueingDelay, nanoseconds(600));
+    EXPECT_EQ(h.delivered[0].second.preemptionLag, nanoseconds(1400));
+    EXPECT_EQ(h.delivered[0].second.packetsReceived, 2u);
+}
+
+// ------------------------------------------------------- loss / timeouts
+
+TEST(HomaLoss, ReceiverResendsAfterTimeout) {
+    Harness h;
+    Message m = h.makeMessage(1, 30000);
+    h.rxData(m, 0, 1442);  // then silence: granted bytes never arrive
+    h.takeGrants();
+    h.host.loop_.runUntil(milliseconds(5));
+    bool sawResend = false;
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Resend) {
+            sawResend = true;
+            EXPECT_EQ(p.offset, 1442u);
+            // Never asks beyond what was granted.
+            EXPECT_LE(p.offset + p.length, 1442u + kRtt);
+        }
+    }
+    EXPECT_TRUE(sawResend);
+}
+
+TEST(HomaLoss, NoResendForIntentionallyWithheldMessage) {
+    Harness h;
+    // schedLevels+1 long messages; the last is withheld. It must NOT
+    // trigger RESENDs: its silence is the receiver's own doing.
+    const MsgId last = static_cast<MsgId>(h.alloc.schedLevels + 1);
+    std::vector<Message> msgs;
+    for (MsgId id = 1; id < last; id++) {
+        msgs.push_back(h.makeMessage(id, 200000, static_cast<HostId>(id)));
+    }
+    // The withheld message: largest remaining (SRPT-last), so it never
+    // enters the active set; deliver its entire unscheduled region so
+    // nothing granted is outstanding for it.
+    msgs.push_back(h.makeMessage(last, 800000, static_cast<HostId>(last)));
+    // Shorter messages arrive first and claim every scheduled level, so
+    // the big one is withheld from its very first packet.
+    for (MsgId id = 1; id < last; id++) h.rxData(msgs[id - 1], 0, 1442);
+    for (int64_t off = 0; off < kRtt; off += 1442) {
+        h.rxData(msgs[last - 1], static_cast<uint32_t>(off),
+                 static_cast<uint32_t>(std::min<int64_t>(1442, kRtt - off)));
+    }
+    h.host.pushed.clear();
+    h.host.loop_.runUntil(milliseconds(20));
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Resend) {
+            EXPECT_NE(p.msg, last) << "withheld message must stay silent";
+        }
+    }
+}
+
+TEST(HomaLoss, SenderAnswersBusyWhenOccupiedElsewhere) {
+    Harness h;
+    // Two outgoing messages; exhaust the small one... actually: make msg A
+    // huge and granted, msg B small: a RESEND for A while B is pending
+    // yields BUSY (SRPT prefers B).
+    Message a = h.makeMessage(1, 500000, 0);
+    a.dst = 5;
+    Message b = h.makeMessage(2, 400, 0);
+    b.dst = 6;
+    h.transport->sendMessage(a);
+    h.transport->sendMessage(b);
+    Packet r;
+    r.type = PacketType::Resend;
+    r.src = 5;
+    r.msg = 1;
+    r.offset = 0;
+    r.length = 1442;
+    h.transport->handlePacket(r);
+    bool sawBusy = false;
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Busy && p.msg == 1) sawBusy = true;
+    }
+    EXPECT_TRUE(sawBusy);
+}
+
+TEST(HomaLoss, SenderRetransmitsWhenIdleAndAsked) {
+    Harness h;
+    Message a = h.makeMessage(1, 2000, 0);
+    a.dst = 5;
+    h.transport->sendMessage(a);
+    auto sent = h.pullAll();
+    ASSERT_EQ(sent.size(), 2u);
+    // Much later, the receiver reports the first packet missing.
+    h.host.loop_.runUntil(milliseconds(3));
+    Packet r;
+    r.type = PacketType::Resend;
+    r.src = 5;
+    r.msg = 1;
+    r.offset = 0;
+    r.length = 1442;
+    h.transport->handlePacket(r);
+    auto retrans = h.pullAll();
+    ASSERT_EQ(retrans.size(), 1u);
+    EXPECT_EQ(retrans[0].offset, 0u);
+    EXPECT_EQ(retrans[0].length, 1442u);
+    EXPECT_TRUE(retrans[0].hasFlag(kFlagRetransmit));
+}
+
+TEST(HomaLoss, ReceiverAbortsAfterMaxResends) {
+    HomaConfig cfg;
+    cfg.maxResends = 2;
+    Harness h(cfg);
+    Message m = h.makeMessage(1, 30000);
+    h.rxData(m, 0, 1442);
+    h.host.loop_.runUntil(milliseconds(50));
+    EXPECT_EQ(h.transport->receiver().incompleteMessages(), 0u);
+    EXPECT_EQ(h.transport->receiver().abortedMessages(), 1u);
+    EXPECT_TRUE(h.delivered.empty());
+}
+
+TEST(HomaLoss, BusyResetsReceiverPatience) {
+    Harness h;
+    Message m = h.makeMessage(1, 30000);
+    h.rxData(m, 0, 1442);
+    for (int i = 0; i < 20; i++) {
+        h.host.loop_.runUntil(h.host.loop_.now() + milliseconds(1));
+        Packet busy;
+        busy.type = PacketType::Busy;
+        busy.src = 1;
+        busy.msg = 1;
+        h.transport->handlePacket(busy);
+    }
+    // The sender kept saying BUSY, so the receiver must not have aborted.
+    EXPECT_EQ(h.transport->receiver().incompleteMessages(), 1u);
+}
+
+// -------------------------------------------------------------- incast
+
+TEST(HomaIncast, MarkedMessageUsesSmallUnscheduledLimit) {
+    Harness h;
+    Message m = h.makeMessage(1, 100000, 0);
+    m.dst = 5;
+    m.flags = kFlagIncastMark;
+    h.transport->sendMessage(m);
+    auto pkts = h.pullAll();
+    int64_t blind = 0;
+    for (const auto& p : pkts) blind += p.length;
+    EXPECT_EQ(blind, 320);  // incastUnschedBytes default
+}
+
+TEST(HomaIncast, DisabledControlIgnoresMark) {
+    HomaConfig cfg;
+    cfg.incastControl = false;
+    Harness h(cfg);
+    Message m = h.makeMessage(1, 100000, 0);
+    m.dst = 5;
+    m.flags = kFlagIncastMark;
+    h.transport->sendMessage(m);
+    auto pkts = h.pullAll();
+    int64_t blind = 0;
+    for (const auto& p : pkts) blind += p.length;
+    EXPECT_EQ(blind, kRtt);
+}
+
+TEST(HomaIncast, ReceiverGrantWindowMatchesMarkedLimit) {
+    // The receiver must base "already granted" on the marked limit, or it
+    // would think RTTbytes were outstanding and under-grant.
+    Harness h;
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = 1;
+    p.msg = 1;
+    p.created = 0;
+    p.offset = 0;
+    p.length = 320;
+    p.messageLength = 100000;
+    p.flags = kFlagIncastMark;
+    h.transport->handlePacket(p);
+    auto grants = h.takeGrants();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].grantOffset, 320u + kRtt);
+}
+
+}  // namespace
+}  // namespace homa

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "sim/qdisc.h"
+
+namespace homa {
+namespace {
+
+Packet dataPacket(uint8_t prio, uint32_t len = kMaxPayload, MsgId msg = 1,
+                  uint32_t offset = 0) {
+    Packet p;
+    p.type = PacketType::Data;
+    p.priority = prio;
+    p.length = len;
+    p.msg = msg;
+    p.offset = offset;
+    return p;
+}
+
+TEST(StrictPriority, HigherPriorityDequeuesFirst) {
+    StrictPriorityQdisc q;
+    Packet lo = dataPacket(1), hi = dataPacket(6), mid = dataPacket(3);
+    q.enqueue(lo);
+    q.enqueue(hi);
+    q.enqueue(mid);
+    EXPECT_EQ(q.dequeue()->priority, 6);
+    EXPECT_EQ(q.dequeue()->priority, 3);
+    EXPECT_EQ(q.dequeue()->priority, 1);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(StrictPriority, FifoWithinLevel) {
+    StrictPriorityQdisc q;
+    for (uint32_t i = 0; i < 5; i++) {
+        Packet p = dataPacket(4, 100, /*msg=*/i);
+        q.enqueue(p);
+    }
+    for (uint32_t i = 0; i < 5; i++) EXPECT_EQ(q.dequeue()->msg, i);
+}
+
+TEST(StrictPriority, TracksBytesAndPackets) {
+    StrictPriorityQdisc q;
+    Packet a = dataPacket(0, 1000), b = dataPacket(7, 200);
+    q.enqueue(a);
+    q.enqueue(b);
+    EXPECT_EQ(q.queuedPackets(), 2u);
+    EXPECT_EQ(q.queuedBytes(), 1000 + 200 + 2 * kHeaderBytes);
+    q.dequeue();
+    EXPECT_EQ(q.queuedPackets(), 1u);
+}
+
+TEST(StrictPriority, HeadPriority) {
+    StrictPriorityQdisc q;
+    EXPECT_EQ(q.headPriority(), -1);
+    Packet p = dataPacket(2);
+    q.enqueue(p);
+    EXPECT_EQ(q.headPriority(), 2);
+    Packet p2 = dataPacket(5);
+    q.enqueue(p2);
+    EXPECT_EQ(q.headPriority(), 5);
+}
+
+TEST(StrictPriority, CapDropsWhenFull) {
+    StrictPriorityOptions o;
+    o.capBytes = 3 * 1500;
+    StrictPriorityQdisc q(o);
+    int accepted = 0;
+    for (int i = 0; i < 10; i++) {
+        Packet p = dataPacket(0);
+        if (q.enqueue(p)) accepted++;
+    }
+    EXPECT_EQ(accepted, 3);  // 3 x (1442+58) = 4500 fits exactly
+    EXPECT_EQ(q.stats().dropped, 7u);
+}
+
+TEST(StrictPriority, TrimOnOverflowConvertsToHeader) {
+    StrictPriorityOptions o;
+    o.capBytes = 2 * 1500;
+    o.trimOnOverflow = true;
+    StrictPriorityQdisc q(o);
+    Packet a = dataPacket(0), b = dataPacket(0);
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));  // fills the cap
+    Packet c = dataPacket(0, kMaxPayload, /*msg=*/9);
+    ASSERT_TRUE(q.enqueue(c));  // trimmed, not dropped
+    EXPECT_EQ(q.stats().trimmed, 1u);
+    EXPECT_EQ(q.stats().dropped, 0u);
+    // The trimmed header comes out first (highest priority).
+    auto first = q.dequeue();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->hasFlag(kFlagTrimmed));
+    EXPECT_EQ(first->msg, 9u);
+    EXPECT_EQ(first->priority, kHighestPriority);
+    EXPECT_EQ(first->wireBytes(), kHeaderBytes + kFrameOverhead);
+}
+
+TEST(StrictPriority, EcnMarksAboveThreshold) {
+    StrictPriorityOptions o;
+    o.ecnThresholdBytes = 2 * 1500;
+    StrictPriorityQdisc q(o);
+    Packet a = dataPacket(0), b = dataPacket(0), c = dataPacket(0);
+    q.enqueue(a);
+    q.enqueue(b);
+    EXPECT_FALSE(b.hasFlag(kFlagEcn));
+    q.enqueue(c);  // occupancy now >= threshold at enqueue time
+    EXPECT_TRUE(c.hasFlag(kFlagEcn));
+    EXPECT_EQ(q.stats().ecnMarked, 1u);
+}
+
+TEST(PFabric, DequeuesSmallestRemaining) {
+    PFabricQdisc q;
+    for (uint32_t rem : {50000u, 100u, 7000u}) {
+        Packet p = dataPacket(0, kMaxPayload, /*msg=*/rem);
+        p.remaining = rem;
+        q.enqueue(p);
+    }
+    EXPECT_EQ(q.dequeue()->remaining, 100u);
+    EXPECT_EQ(q.dequeue()->remaining, 7000u);
+    EXPECT_EQ(q.dequeue()->remaining, 50000u);
+}
+
+TEST(PFabric, EarliestOffsetWithinWinningMessage) {
+    PFabricQdisc q;
+    for (uint32_t off : {2884u, 0u, 1442u}) {
+        Packet p = dataPacket(0, kMaxPayload, /*msg=*/5, off);
+        p.remaining = 1000;
+        q.enqueue(p);
+    }
+    EXPECT_EQ(q.dequeue()->offset, 0u);
+    EXPECT_EQ(q.dequeue()->offset, 1442u);
+    EXPECT_EQ(q.dequeue()->offset, 2884u);
+}
+
+TEST(PFabric, OverflowDropsLargestRemaining) {
+    PFabricQdisc q(PFabricOptions{2 * 1500});
+    Packet a = dataPacket(0, kMaxPayload, 1);
+    a.remaining = 10;
+    Packet b = dataPacket(0, kMaxPayload, 2);
+    b.remaining = 999999;
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));
+    // Queue full. An urgent packet evicts the 999999-remaining one.
+    Packet c = dataPacket(0, kMaxPayload, 3);
+    c.remaining = 20;
+    ASSERT_TRUE(q.enqueue(c));
+    EXPECT_EQ(q.stats().dropped, 1u);
+    EXPECT_EQ(q.dequeue()->msg, 1u);
+    EXPECT_EQ(q.dequeue()->msg, 3u);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(PFabric, IncomingWorstIsDroppedItself) {
+    PFabricQdisc q(PFabricOptions{2 * 1500});
+    Packet a = dataPacket(0, kMaxPayload, 1);
+    a.remaining = 10;
+    Packet b = dataPacket(0, kMaxPayload, 2);
+    b.remaining = 20;
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));
+    Packet c = dataPacket(0, kMaxPayload, 3);
+    c.remaining = 30;  // worse than everything queued
+    EXPECT_FALSE(q.enqueue(c));
+    EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(PFabric, ControlServedBeforeData) {
+    PFabricQdisc q;
+    Packet d = dataPacket(0);
+    d.remaining = 1;
+    q.enqueue(d);
+    Packet ack;
+    ack.type = PacketType::Ack;
+    ack.priority = kHighestPriority;
+    q.enqueue(ack);
+    EXPECT_EQ(q.dequeue()->type, PacketType::Ack);
+    EXPECT_EQ(q.dequeue()->type, PacketType::Data);
+}
+
+TEST(PFabric, ControlNeverDroppedByCap) {
+    PFabricQdisc q(PFabricOptions{1500});
+    Packet d = dataPacket(0);
+    d.remaining = 5;
+    ASSERT_TRUE(q.enqueue(d));
+    for (int i = 0; i < 10; i++) {
+        Packet ack;
+        ack.type = PacketType::Ack;
+        EXPECT_TRUE(q.enqueue(ack));
+    }
+}
+
+}  // namespace
+}  // namespace homa

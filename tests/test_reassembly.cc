@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "transport/message.h"
+
+namespace homa {
+namespace {
+
+TEST(Reassembly, EmptyState) {
+    Reassembly r(1000);
+    EXPECT_FALSE(r.complete());
+    EXPECT_EQ(r.receivedBytes(), 0u);
+    EXPECT_EQ(r.contiguousPrefix(), 0u);
+    auto gap = r.firstGap();
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_EQ(gap->first, 0u);
+    EXPECT_EQ(gap->second, 1000u);
+}
+
+TEST(Reassembly, SingleRangeCompletes) {
+    Reassembly r(500);
+    EXPECT_EQ(r.addRange(0, 500), 500u);
+    EXPECT_TRUE(r.complete());
+    EXPECT_FALSE(r.firstGap().has_value());
+}
+
+TEST(Reassembly, InOrderPackets) {
+    Reassembly r(4326);  // 3 full packets
+    EXPECT_EQ(r.addRange(0, 1442), 1442u);
+    EXPECT_EQ(r.contiguousPrefix(), 1442u);
+    EXPECT_EQ(r.addRange(1442, 1442), 1442u);
+    EXPECT_EQ(r.addRange(2884, 1442), 1442u);
+    EXPECT_TRUE(r.complete());
+}
+
+TEST(Reassembly, OutOfOrderPackets) {
+    Reassembly r(4326);
+    r.addRange(2884, 1442);
+    EXPECT_EQ(r.contiguousPrefix(), 0u);
+    r.addRange(0, 1442);
+    EXPECT_EQ(r.contiguousPrefix(), 1442u);
+    auto gap = r.firstGap();
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_EQ(gap->first, 1442u);
+    EXPECT_EQ(gap->second, 1442u);
+    r.addRange(1442, 1442);
+    EXPECT_TRUE(r.complete());
+}
+
+TEST(Reassembly, DuplicatesCountZeroNewBytes) {
+    Reassembly r(3000);
+    EXPECT_EQ(r.addRange(0, 1442), 1442u);
+    EXPECT_EQ(r.addRange(0, 1442), 0u);
+    EXPECT_EQ(r.addRange(100, 500), 0u);
+    EXPECT_EQ(r.receivedBytes(), 1442u);
+}
+
+TEST(Reassembly, PartialOverlapCountsOnlyNewBytes) {
+    Reassembly r(3000);
+    r.addRange(0, 1000);
+    EXPECT_EQ(r.addRange(500, 1000), 500u);
+    EXPECT_EQ(r.receivedBytes(), 1500u);
+    EXPECT_EQ(r.contiguousPrefix(), 1500u);
+}
+
+TEST(Reassembly, OverlapSpanningMultipleRanges) {
+    Reassembly r(10000);
+    r.addRange(1000, 1000);
+    r.addRange(4000, 1000);
+    r.addRange(7000, 1000);
+    // Covers all three existing ranges plus the gaps between them.
+    EXPECT_EQ(r.addRange(500, 8000), 5000u);
+    EXPECT_EQ(r.receivedBytes(), 8000u);
+    auto gap = r.firstGap();
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_EQ(gap->first, 0u);
+    EXPECT_EQ(gap->second, 500u);
+}
+
+TEST(Reassembly, RangeBeyondLengthIsClipped) {
+    Reassembly r(1000);
+    EXPECT_EQ(r.addRange(900, 1442), 100u);
+    EXPECT_EQ(r.addRange(1000, 500), 0u);  // entirely past the end
+    EXPECT_EQ(r.addRange(5000, 10), 0u);
+    EXPECT_EQ(r.receivedBytes(), 100u);
+}
+
+TEST(Reassembly, ZeroLengthRangeIsNoop) {
+    Reassembly r(1000);
+    EXPECT_EQ(r.addRange(10, 0), 0u);
+    EXPECT_EQ(r.receivedBytes(), 0u);
+}
+
+TEST(Reassembly, AdjacentRangesMerge) {
+    Reassembly r(3000);
+    r.addRange(0, 1000);
+    r.addRange(1000, 1000);  // exactly adjacent
+    EXPECT_EQ(r.contiguousPrefix(), 2000u);
+    auto gap = r.firstGap();
+    ASSERT_TRUE(gap.has_value());
+    EXPECT_EQ(gap->first, 2000u);
+}
+
+// Property: random permutations of packets with random duplicates always
+// reassemble exactly, and newly-counted bytes always sum to the length.
+class ReassemblyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReassemblyProperty, RandomArrivalOrderAlwaysCompletes) {
+    Rng rng(GetParam());
+    const uint32_t length = 1 + static_cast<uint32_t>(rng.below(200000));
+    Reassembly r(length);
+
+    std::vector<std::pair<uint32_t, uint32_t>> packets;
+    for (uint32_t off = 0; off < length; off += kMaxPayload) {
+        packets.emplace_back(off, std::min<uint32_t>(kMaxPayload, length - off));
+    }
+    // Shuffle and inject duplicates.
+    for (size_t i = packets.size(); i > 1; i--) {
+        std::swap(packets[i - 1], packets[rng.below(i)]);
+    }
+    const size_t dups = rng.below(packets.size() + 1);
+    for (size_t i = 0; i < dups; i++) {
+        packets.push_back(packets[rng.below(packets.size())]);
+    }
+
+    uint64_t newBytes = 0;
+    for (auto [off, len] : packets) newBytes += r.addRange(off, len);
+    EXPECT_TRUE(r.complete());
+    EXPECT_EQ(newBytes, length);
+    EXPECT_EQ(r.contiguousPrefix(), length);
+    EXPECT_FALSE(r.firstGap().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblyProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace homa

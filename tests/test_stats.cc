@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "stats/percentile.h"
+#include "stats/report.h"
+#include "stats/slowdown.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+TEST(Samples, EmptyIsSafe) {
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Samples, BasicStatistics) {
+    Samples s;
+    for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Samples, PercentileNearestRank) {
+    Samples s;
+    for (int i = 1; i <= 100; i++) s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Samples, InterleavedAddAndQuery) {
+    Samples s;
+    s.add(10);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+    s.add(20);
+    s.add(30);
+    EXPECT_DOUBLE_EQ(s.median(), 20.0);  // re-sorts after new samples
+}
+
+TEST(SlowdownTracker, RecordsIntoCorrectDecileBuckets) {
+    const auto& dist = workload(WorkloadId::W3);  // deciles start 36, 77...
+    SlowdownTracker t(dist, [](uint32_t) { return microseconds(1); });
+    t.record(10, microseconds(2));    // bucket 0 (<= 36)
+    t.record(36, microseconds(3));    // bucket 0 boundary
+    t.record(100, microseconds(4));   // bucket 2 (<= 110)
+    t.record(1u << 30, microseconds(9));  // clamps to last bucket
+    auto rows = t.rows();
+    ASSERT_EQ(rows.size(), 10u);
+    EXPECT_EQ(rows[0].count, 2u);
+    EXPECT_EQ(rows[2].count, 1u);
+    EXPECT_EQ(rows[9].count, 1u);
+    EXPECT_DOUBLE_EQ(rows[2].median, 4.0);
+}
+
+TEST(SlowdownTracker, SlowdownIsElapsedOverOracle) {
+    const auto& dist = workload(WorkloadId::W1);
+    SlowdownTracker t(dist, [](uint32_t size) {
+        return microseconds(1) * (1 + size / 1000);
+    });
+    t.record(2000, microseconds(9));  // oracle = 3us -> slowdown 3
+    EXPECT_DOUBLE_EQ(t.overallPercentile(0.5), 3.0);
+}
+
+TEST(SlowdownTracker, TailDelaySourcesUsesShortMessagesNearP99) {
+    const auto& dist = workload(WorkloadId::W3);
+    SlowdownTracker t(dist, [](uint32_t) { return microseconds(1); });
+    // 99 fast short messages with distinct delays and zero decomposition,
+    // plus one slow one with a big decomposition. The p98 threshold selects
+    // the slowest 3 (98, 99, and 1000 us); only the slow one contributes.
+    for (int i = 1; i <= 99; i++) {
+        t.record(30, microseconds(i), 0, 0);
+    }
+    t.record(30, microseconds(1000), microseconds(30), microseconds(15));
+    auto [queueing, lag] = t.tailDelaySources();
+    EXPECT_EQ(queueing, microseconds(30) / 3);
+    EXPECT_EQ(lag, microseconds(15) / 3);
+}
+
+TEST(SlowdownTracker, IgnoresLargeMessagesForTailDecomposition) {
+    const auto& dist = workload(WorkloadId::W3);
+    SlowdownTracker t(dist, [](uint32_t) { return microseconds(1); });
+    t.record(5'000'000, microseconds(1000), microseconds(500), microseconds(500));
+    auto [queueing, lag] = t.tailDelaySources();
+    EXPECT_EQ(queueing, 0);
+    EXPECT_EQ(lag, 0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string out = t.format();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Every line has the same structure: header, rule, 2 rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::bytes(512), "512");
+    EXPECT_EQ(Table::bytes(16129), "16.1K");
+    EXPECT_EQ(Table::bytes(28840000), "28.8M");
+}
+
+TEST(Banner, ContainsTitle) {
+    EXPECT_NE(banner("Hello").find("Hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace homa

@@ -1,0 +1,142 @@
+// The byte-stream layer over Homa (§3.1/§3.8 future work).
+#include <gtest/gtest.h>
+
+#include "core/rpc.h"
+#include "core/stream_adapter.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+struct Pair {
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<StreamMux>> muxes;
+
+    Pair() {
+        net = std::make_unique<Network>(
+            cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W3)));
+        for (HostId h = 0; h < net->hostCount(); h++) {
+            muxes.push_back(std::make_unique<StreamMux>(*net, h));
+        }
+    }
+};
+
+TEST(StreamIds, EncodingRoundTrips) {
+    const MsgId id = streamMessageId(97, 1234, 987654321);
+    EXPECT_EQ(streamIdOf(id), 1234u);
+    EXPECT_EQ(streamSeqOf(id), 987654321u);
+    EXPECT_FALSE(isResponseId(id));  // top bit reserved for RPC responses
+    // Different hosts never collide.
+    EXPECT_NE(streamMessageId(1, 1, 0), streamMessageId(2, 1, 0));
+}
+
+TEST(StreamAdapter, BytesArriveInOrder) {
+    Pair p;
+    const uint32_t sid = p.muxes[0]->openStream(7);
+    uint64_t got = 0;
+    bool ordered = true;
+    uint64_t expectSeqStart = 0;
+    p.muxes[7]->setReadCallback(
+        [&](HostId from, uint32_t stream, const std::vector<uint8_t>& data) {
+            EXPECT_EQ(from, 0);
+            EXPECT_EQ(stream, sid);
+            got += data.size();
+            (void)expectSeqStart;
+            (void)ordered;
+        });
+    p.muxes[0]->write(sid, 200000);
+    p.net->loop().run();
+    EXPECT_EQ(got, 200000u);
+    EXPECT_EQ(p.muxes[7]->bytesRead(0, sid), 200000u);
+    EXPECT_EQ(p.muxes[0]->bytesWritten(sid), 200000u);
+}
+
+TEST(StreamAdapter, MultipleWritesPreserveOrder) {
+    Pair p;
+    const uint32_t sid = p.muxes[1]->openStream(2);
+    std::vector<size_t> sizes;
+    p.muxes[2]->setReadCallback(
+        [&](HostId, uint32_t, const std::vector<uint8_t>& data) {
+            sizes.push_back(data.size());
+        });
+    // Writes of decreasing size: without sequencing, Homa's SRPT would
+    // deliver the small ones first; the stream layer must reorder.
+    p.muxes[1]->write(sid, 150000);
+    p.muxes[1]->write(sid, 5000);
+    p.muxes[1]->write(sid, 100);
+    p.net->loop().run();
+    ASSERT_EQ(p.muxes[2]->bytesRead(1, sid), 155100u);
+    // In-order delivery: chunks of the 150000 write come before the rest.
+    ASSERT_GE(sizes.size(), 3u);
+    EXPECT_EQ(sizes.back(), 100u);
+}
+
+TEST(StreamAdapter, IndependentStreamsDoNotBlockEachOther) {
+    // The whole point vs TCP: a small stream to the same peer is not stuck
+    // behind a big one.
+    Pair p;
+    const uint32_t big = p.muxes[0]->openStream(5);
+    const uint32_t small = p.muxes[0]->openStream(5);
+    Time bigDone = 0, smallDone = 0;
+    p.muxes[5]->setReadCallback(
+        [&](HostId, uint32_t stream, const std::vector<uint8_t>&) {
+            if (stream == big && p.muxes[5]->bytesRead(0, big) == 3'000'000) {
+                bigDone = p.net->loop().now();
+            }
+            if (stream == small && p.muxes[5]->bytesRead(0, small) == 400) {
+                smallDone = p.net->loop().now();
+            }
+        });
+    p.muxes[0]->write(big, 3'000'000);
+    p.muxes[0]->write(small, 400);
+    p.net->loop().run();
+    ASSERT_GT(bigDone, 0);
+    ASSERT_GT(smallDone, 0);
+    EXPECT_LT(smallDone * 10, bigDone)
+        << "small stream must finish far earlier (SRPT, no stream HOL)";
+}
+
+TEST(StreamAdapter, ChunkSizeControlsMessageCount) {
+    Pair p;
+    p.muxes[3]->chunkBytes = 10000;
+    const uint32_t sid = p.muxes[3]->openStream(4);
+    int messages = 0;
+    p.muxes[4]->setReadCallback(
+        [&](HostId, uint32_t, const std::vector<uint8_t>&) { messages++; });
+    p.muxes[3]->write(sid, 95000);
+    p.net->loop().run();
+    EXPECT_EQ(messages, 10);  // 9 x 10000 + 1 x 5000
+    EXPECT_EQ(p.muxes[4]->bytesRead(3, sid), 95000u);
+}
+
+TEST(StreamAdapter, ManyStreamsManyPeers) {
+    Pair p;
+    struct S {
+        HostId from;
+        uint32_t id;
+        uint32_t bytes;
+    };
+    std::vector<S> streams;
+    Rng rng(17);
+    for (int i = 0; i < 30; i++) {
+        const HostId from = static_cast<HostId>(rng.below(8));
+        const HostId to = static_cast<HostId>(8 + rng.below(8));
+        const uint32_t sid = p.muxes[from]->openStream(to);
+        const uint32_t bytes = 1 + static_cast<uint32_t>(rng.below(300000));
+        p.muxes[from]->write(sid, bytes);
+        streams.push_back({from, sid, bytes});
+        (void)to;
+    }
+    p.net->loop().run();
+    for (const auto& s : streams) {
+        bool found = false;
+        for (HostId h = 8; h < 16; h++) {
+            if (p.muxes[h]->bytesRead(s.from, s.id) == s.bytes) found = true;
+        }
+        EXPECT_TRUE(found) << "stream " << s.id << " from " << s.from;
+    }
+}
+
+}  // namespace
+}  // namespace homa

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace homa {
+namespace {
+
+TEST(TimeUnits, ConversionsAreExact) {
+    EXPECT_EQ(nanoseconds(1), 1000);
+    EXPECT_EQ(microseconds(1), 1'000'000);
+    EXPECT_EQ(milliseconds(1), 1'000'000'000);
+    EXPECT_EQ(microseconds(1), nanoseconds(1000));
+    EXPECT_DOUBLE_EQ(toMicros(microseconds(15)), 15.0);
+    EXPECT_DOUBLE_EQ(toSeconds(milliseconds(250)), 0.25);
+}
+
+TEST(Bandwidth, CommonRatesAreExactIntegers) {
+    EXPECT_EQ(k10Gbps.psPerByte, 800);
+    EXPECT_EQ(k40Gbps.psPerByte, 200);
+    EXPECT_DOUBLE_EQ(k10Gbps.gbps(), 10.0);
+    EXPECT_DOUBLE_EQ(k40Gbps.gbps(), 40.0);
+}
+
+TEST(Bandwidth, SerializationTimes) {
+    // A full 1524-byte wire packet at 10 Gbps takes 1219.2 ns.
+    EXPECT_EQ(k10Gbps.serialize(1524), 1'219'200);
+    EXPECT_EQ(k40Gbps.serialize(1524), 304'800);
+    EXPECT_EQ(k10Gbps.serialize(0), 0);
+}
+
+TEST(Bandwidth, BytesInInvertsSerialize) {
+    for (int64_t bytes : {1, 64, 1500, 9700, 1000000}) {
+        EXPECT_EQ(k10Gbps.bytesIn(k10Gbps.serialize(bytes)), bytes);
+    }
+}
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next()) same++;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 100000; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+    Rng rng(9);
+    std::array<int, 10> counts{};
+    for (int i = 0; i < 100000; i++) {
+        uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        counts[v]++;
+    }
+    for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng rng(10);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; i++) seen.insert(rng.range(-3, 3));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.begin(), -3);
+    EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng rng(11);
+    double sum = 0;
+    const double mean = 25.0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++) {
+        double v = rng.exponential(mean);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, mean, 0.25);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(5);
+    Rng child = a.fork();
+    // The child must not replay the parent's sequence.
+    Rng b(5);
+    b.fork();
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (child.next() == b.next()) same++;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(13);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+}  // namespace
+}  // namespace homa

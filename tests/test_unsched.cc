@@ -1,0 +1,162 @@
+// Tests for the unscheduled priority allocation algorithm (Figure 4).
+#include <gtest/gtest.h>
+
+#include "core/unsched.h"
+#include "sim/topology.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+int64_t rttBytes() {
+    static const int64_t v =
+        NetworkTimings::compute(NetworkConfig::fatTree144()).rttBytes;
+    return v;
+}
+
+TEST(Allocation, W1AllocatesMostLevelsToUnscheduled) {
+    // W1: nearly all bytes are in messages < RTTbytes, so almost all levels
+    // go to unscheduled traffic (the paper: 7 of 8).
+    auto alloc = computeAllocation(workload(WorkloadId::W1), {}, rttBytes());
+    EXPECT_GE(alloc.unschedLevels, 6);
+    EXPECT_LE(alloc.unschedLevels, 7);
+    EXPECT_EQ(alloc.unschedLevels + alloc.schedLevels, 8);
+}
+
+TEST(Allocation, W4W5AllocateOneUnscheduledLevel) {
+    // W4/W5 bytes are dominated by huge messages; the paper allocates just
+    // one unscheduled level.
+    for (WorkloadId wl : {WorkloadId::W4, WorkloadId::W5}) {
+        auto alloc = computeAllocation(workload(wl), {}, rttBytes());
+        EXPECT_EQ(alloc.unschedLevels, 1) << workload(wl).name();
+        EXPECT_EQ(alloc.schedLevels, 7) << workload(wl).name();
+    }
+}
+
+TEST(Allocation, W3SplitsRoughlyEvenly) {
+    // Figure 21: W3 uses 4 scheduled + 4 unscheduled.
+    auto alloc = computeAllocation(workload(WorkloadId::W3), {}, rttBytes());
+    EXPECT_GE(alloc.unschedLevels, 3);
+    EXPECT_LE(alloc.unschedLevels, 5);
+}
+
+TEST(Allocation, W3TwoLevelCutoffNearPaperValue) {
+    // The paper: balancing unscheduled bytes across 2 levels for W3 picks a
+    // cutoff of ~1930 bytes (Figure 18).
+    HomaConfig cfg;
+    cfg.unschedPriorities = 2;
+    auto alloc = computeAllocation(workload(WorkloadId::W3), cfg, rttBytes());
+    ASSERT_EQ(alloc.cutoffs.size(), 1u);
+    EXPECT_GT(alloc.cutoffs[0], 1200u);
+    EXPECT_LT(alloc.cutoffs[0], 2800u);
+}
+
+TEST(Allocation, CutoffsAscendAndShorterMessagesGetHigherPriority) {
+    auto alloc = computeAllocation(workload(WorkloadId::W2), {}, rttBytes());
+    for (size_t i = 1; i < alloc.cutoffs.size(); i++) {
+        EXPECT_GE(alloc.cutoffs[i], alloc.cutoffs[i - 1]);
+    }
+    // Priorities are non-increasing in message size.
+    int prev = kPriorityLevels;
+    for (uint32_t size : {1u, 100u, 1000u, 10000u, 100000u}) {
+        const int prio = alloc.unschedPriorityFor(size);
+        EXPECT_LE(prio, prev);
+        EXPECT_GE(prio, alloc.lowestUnschedLevel());
+        EXPECT_LE(prio, kHighestPriority);
+        prev = prio;
+    }
+    // The smallest message always gets the top level.
+    EXPECT_EQ(alloc.unschedPriorityFor(1), kHighestPriority);
+}
+
+TEST(Allocation, ExplicitCutoffsRespected) {
+    HomaConfig cfg;
+    cfg.unschedPriorities = 2;
+    cfg.explicitCutoffs = {500};
+    auto alloc = computeAllocation(workload(WorkloadId::W3), cfg, rttBytes());
+    ASSERT_EQ(alloc.cutoffs.size(), 1u);
+    EXPECT_EQ(alloc.cutoffs[0], 500u);
+    EXPECT_EQ(alloc.unschedPriorityFor(400), kHighestPriority);
+    EXPECT_EQ(alloc.unschedPriorityFor(600), kHighestPriority - 1);
+}
+
+TEST(Allocation, BalancesUnscheduledBytesAcrossLevels) {
+    // Property: with the computed cutoffs, each unscheduled level carries
+    // roughly 1/k of unscheduled bytes.
+    const auto& dist = workload(WorkloadId::W2);
+    auto alloc = computeAllocation(dist, {}, rttBytes());
+    const int k = alloc.unschedLevels;
+    ASSERT_GE(k, 2);
+    std::vector<double> perLevel(k, 0);
+    double total = 0;
+    Rng rng(31);
+    for (int i = 0; i < 200000; i++) {
+        const uint32_t size = dist.sample(rng);
+        const double unsched =
+            std::min<double>(size, static_cast<double>(rttBytes()));
+        const int level = alloc.unschedPriorityFor(size);
+        perLevel[kHighestPriority - level] += unsched;
+        total += unsched;
+    }
+    for (int lvl = 0; lvl < k; lvl++) {
+        EXPECT_NEAR(perLevel[lvl] / total, 1.0 / k, 0.08)
+            << "level " << lvl;
+    }
+}
+
+TEST(Allocation, SingleLevelHasNoCutoffs) {
+    HomaConfig cfg;
+    cfg.unschedPriorities = 1;
+    auto alloc = computeAllocation(workload(WorkloadId::W1), cfg, rttBytes());
+    EXPECT_TRUE(alloc.cutoffs.empty());
+    EXPECT_EQ(alloc.unschedPriorityFor(1), kHighestPriority);
+    EXPECT_EQ(alloc.unschedPriorityFor(1 << 20), kHighestPriority);
+}
+
+TEST(Allocation, ReducedLogicalLevels) {
+    HomaConfig cfg;
+    cfg.logicalPriorities = 4;
+    auto alloc = computeAllocation(workload(WorkloadId::W3), cfg, rttBytes());
+    EXPECT_EQ(alloc.logicalLevels, 4);
+    EXPECT_EQ(alloc.unschedLevels + alloc.schedLevels, 4);
+    EXPECT_LE(alloc.unschedPriorityFor(1), 3);
+}
+
+TEST(TrafficMeter, FallsBackUntilEnoughData) {
+    TrafficMeter meter;
+    PriorityAllocation fallback;
+    fallback.unschedLevels = 3;
+    fallback.schedLevels = 5;
+    auto alloc = meter.allocate({}, rttBytes(), fallback);
+    EXPECT_EQ(alloc.unschedLevels, 3);
+}
+
+TEST(TrafficMeter, LearnsDistributionOnline) {
+    // Feed W4-like sizes (huge messages): the meter must converge to one
+    // unscheduled level.
+    TrafficMeter meter;
+    const auto& dist = workload(WorkloadId::W4);
+    Rng rng(5);
+    for (int i = 0; i < 5000; i++) meter.recordMessage(dist.sample(rng));
+    auto alloc = meter.allocate({}, rttBytes(), {});
+    EXPECT_EQ(alloc.unschedLevels, 1);
+
+    // Now feed W1-like tiny sizes; it adapts the other way.
+    TrafficMeter meter2;
+    const auto& w1 = workload(WorkloadId::W1);
+    for (int i = 0; i < 5000; i++) meter2.recordMessage(w1.sample(rng));
+    auto alloc2 = meter2.allocate({}, rttBytes(), {});
+    EXPECT_GE(alloc2.unschedLevels, 6);
+}
+
+TEST(TrafficMeter, ReservoirBoundsMemory) {
+    TrafficMeter meter(256);
+    for (int i = 0; i < 100000; i++) meter.recordMessage(100);
+    EXPECT_EQ(meter.observed(), 100000u);
+    auto alloc = meter.allocate({}, rttBytes(), {});
+    // All bytes unscheduled -> round(1.0 * 8) clamped to 7 levels.
+    EXPECT_EQ(alloc.unschedLevels, 7);
+}
+
+}  // namespace
+}  // namespace homa

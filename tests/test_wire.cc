@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/random.h"
+#include "wire/checksum.h"
+#include "wire/header.h"
+
+namespace homa {
+namespace {
+
+using wire::decodeHeader;
+using wire::encodeHeader;
+using wire::kWireHeaderSize;
+
+Packet samplePacket() {
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = 12;
+    p.dst = 131;
+    p.msg = 0x1122334455667788ull;
+    p.offset = 14420;
+    p.length = 1442;
+    p.messageLength = 500000;
+    p.priority = 5;
+    p.grantPriority = 2;
+    p.flags = kFlagRequest | kFlagLast;
+    p.grantOffset = 24120;
+    p.remaining = 485580;
+    return p;
+}
+
+TEST(Crc32c, KnownVectors) {
+    // RFC 3720 test vector: 32 bytes of zeros -> 0x8A9136AA.
+    std::array<std::byte, 32> zeros{};
+    EXPECT_EQ(wire::crc32c(zeros), 0x8A9136AAu);
+    // "123456789" -> 0xE3069283.
+    const char* digits = "123456789";
+    EXPECT_EQ(wire::crc32c(std::as_bytes(std::span(digits, 9))), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+    std::array<std::byte, 64> data;
+    Rng rng(4);
+    for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+    uint32_t crc = ~0u;
+    crc = wire::crc32cUpdate(crc, std::span(data).subspan(0, 20));
+    crc = wire::crc32cUpdate(crc, std::span(data).subspan(20));
+    EXPECT_EQ(~crc, wire::crc32c(data));
+}
+
+TEST(WireHeader, RoundTripsAllFields) {
+    Packet p = samplePacket();
+    std::array<std::byte, kWireHeaderSize> buf;
+    EXPECT_EQ(encodeHeader(p, buf), kWireHeaderSize);
+    auto q = decodeHeader(buf);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->type, p.type);
+    EXPECT_EQ(q->src, p.src);
+    EXPECT_EQ(q->dst, p.dst);
+    EXPECT_EQ(q->msg, p.msg);
+    EXPECT_EQ(q->offset, p.offset);
+    EXPECT_EQ(q->length, p.length);
+    EXPECT_EQ(q->messageLength, p.messageLength);
+    EXPECT_EQ(q->priority, p.priority);
+    EXPECT_EQ(q->grantPriority, p.grantPriority);
+    EXPECT_EQ(q->flags, p.flags);
+    EXPECT_EQ(q->grantOffset, p.grantOffset);
+    EXPECT_EQ(q->remaining, p.remaining);
+}
+
+TEST(WireHeader, RoundTripsEveryPacketType) {
+    for (int t = 0; t <= static_cast<int>(PacketType::Rts); t++) {
+        Packet p = samplePacket();
+        p.type = static_cast<PacketType>(t);
+        std::array<std::byte, kWireHeaderSize> buf;
+        encodeHeader(p, buf);
+        auto q = decodeHeader(buf);
+        ASSERT_TRUE(q.has_value()) << t;
+        EXPECT_EQ(static_cast<int>(q->type), t);
+    }
+}
+
+TEST(WireHeader, RejectsShortBuffer) {
+    Packet p = samplePacket();
+    std::array<std::byte, kWireHeaderSize> buf;
+    encodeHeader(p, buf);
+    EXPECT_FALSE(decodeHeader(std::span(buf).subspan(0, 10)).has_value());
+    std::array<std::byte, 8> tiny{};
+    EXPECT_EQ(encodeHeader(p, tiny), 0u);
+}
+
+TEST(WireHeader, RejectsBadMagic) {
+    Packet p = samplePacket();
+    std::array<std::byte, kWireHeaderSize> buf;
+    encodeHeader(p, buf);
+    buf[0] = std::byte{0x00};
+    EXPECT_FALSE(decodeHeader(buf).has_value());
+}
+
+TEST(WireHeader, DetectsEverySingleBitFlip) {
+    Packet p = samplePacket();
+    std::array<std::byte, kWireHeaderSize> buf;
+    encodeHeader(p, buf);
+    for (size_t byteIdx = 0; byteIdx < kWireHeaderSize; byteIdx++) {
+        for (int bit = 0; bit < 8; bit++) {
+            auto corrupted = buf;
+            corrupted[byteIdx] ^= static_cast<std::byte>(1 << bit);
+            auto q = decodeHeader(corrupted);
+            // Either rejected outright, or (impossible for CRC-32C with a
+            // single-bit error) decoded identically.
+            EXPECT_FALSE(q.has_value())
+                << "flip at byte " << byteIdx << " bit " << bit;
+        }
+    }
+}
+
+TEST(WireHeader, RejectsOutOfRangePriority) {
+    Packet p = samplePacket();
+    p.priority = 9;  // invalid: only 8 levels exist
+    std::array<std::byte, kWireHeaderSize> buf;
+    encodeHeader(p, buf);
+    EXPECT_FALSE(decodeHeader(buf).has_value());
+}
+
+TEST(WireHeader, FuzzRoundTripRandomPackets) {
+    Rng rng(99);
+    for (int i = 0; i < 500; i++) {
+        Packet p;
+        p.type = static_cast<PacketType>(rng.below(9));
+        p.src = static_cast<HostId>(rng.below(1000));
+        p.dst = static_cast<HostId>(rng.below(1000));
+        p.msg = rng.next();
+        p.offset = static_cast<uint32_t>(rng.next());
+        p.length = static_cast<uint32_t>(rng.next());
+        p.messageLength = static_cast<uint32_t>(rng.next());
+        p.priority = static_cast<uint8_t>(rng.below(8));
+        p.flags = static_cast<uint16_t>(rng.below(1 << 6));
+        std::array<std::byte, kWireHeaderSize> buf;
+        encodeHeader(p, buf);
+        auto q = decodeHeader(buf);
+        ASSERT_TRUE(q.has_value());
+        EXPECT_EQ(q->msg, p.msg);
+        EXPECT_EQ(q->offset, p.offset);
+    }
+}
+
+}  // namespace
+}  // namespace homa

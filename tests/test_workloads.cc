@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/homa_transport.h"
+#include "workload/generator.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+TEST(Workloads, AllFiveExistWithCorrectOrdering) {
+    // Figure 1: workloads ordered by average message size, W1 smallest.
+    double prev = 0;
+    for (WorkloadId id : kAllWorkloads) {
+        const double mean = workload(id).meanSize();
+        EXPECT_GT(mean, prev) << workload(id).name();
+        prev = mean;
+    }
+}
+
+TEST(Workloads, LookupByName) {
+    EXPECT_EQ(workloadFromName("W3"), WorkloadId::W3);
+    EXPECT_THROW(workloadFromName("W9"), std::invalid_argument);
+}
+
+TEST(Workloads, DecilesMatchThePaperTicks) {
+    EXPECT_EQ(workload(WorkloadId::W1).deciles()[0], 2u);
+    EXPECT_EQ(workload(WorkloadId::W1).deciles()[9], 16129u);
+    EXPECT_EQ(workload(WorkloadId::W3).deciles()[2], 110u);
+    EXPECT_EQ(workload(WorkloadId::W4).deciles()[9], 10000000u);
+    EXPECT_EQ(workload(WorkloadId::W5).deciles()[9], 28840000u);
+}
+
+TEST(Workloads, W5IsFullPacketQuantized) {
+    const auto& w5 = workload(WorkloadId::W5);
+    for (uint32_t d : w5.deciles()) EXPECT_EQ(d % 1442, 0u) << d;
+    Rng rng(3);
+    for (int i = 0; i < 1000; i++) {
+        EXPECT_EQ(w5.sample(rng) % 1442, 0u);
+    }
+}
+
+class DistributionProperty
+    : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(DistributionProperty, SamplesStayInBounds) {
+    const auto& dist = workload(GetParam());
+    Rng rng(21);
+    for (int i = 0; i < 20000; i++) {
+        const uint32_t s = dist.sample(rng);
+        EXPECT_GE(s, dist.minSize());
+        EXPECT_LE(s, dist.maxSize());
+    }
+}
+
+TEST_P(DistributionProperty, EmpiricalDecilesMatchDeclared) {
+    // The sampled distribution must pass through the declared deciles: the
+    // fraction of samples <= decile[i] must be ~ (i+1)/10.
+    const auto& dist = workload(GetParam());
+    Rng rng(22);
+    const int n = 200000;
+    std::vector<uint32_t> samples(n);
+    for (auto& s : samples) s = dist.sample(rng);
+    for (int i = 0; i < 9; i++) {  // the 10th is the max, trivially 100%
+        const uint32_t edge = dist.deciles()[i];
+        int below = 0;
+        for (uint32_t s : samples) {
+            if (s <= edge) below++;
+        }
+        const double frac = static_cast<double>(below) / n;
+        EXPECT_NEAR(frac, (i + 1) / 10.0, 0.02)
+            << dist.name() << " decile " << i;
+    }
+}
+
+TEST_P(DistributionProperty, CdfQuantileAreInverse) {
+    const auto& dist = workload(GetParam());
+    for (double p : {0.05, 0.15, 0.35, 0.55, 0.75, 0.95}) {
+        const double q = dist.quantile(p);
+        EXPECT_NEAR(dist.cdf(q), p, 0.01) << dist.name();
+    }
+}
+
+TEST_P(DistributionProperty, MeanMatchesMonteCarlo) {
+    const auto& dist = workload(GetParam());
+    Rng rng(23);
+    double sum = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; i++) sum += dist.sample(rng);
+    const double mcMean = sum / n;
+    // Heavy tails make this noisy; 10% agreement is enough to catch a
+    // broken closed form.
+    EXPECT_NEAR(dist.meanSize() / mcMean, 1.0, 0.10) << dist.name();
+}
+
+TEST_P(DistributionProperty, MeanWireBytesExceedsMeanSize) {
+    const auto& dist = workload(GetParam());
+    EXPECT_GT(dist.meanWireBytes(), dist.meanSize());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DistributionProperty,
+                         ::testing::ValuesIn(kAllWorkloads),
+                         [](const auto& info) {
+                             return workload(info.param).name();
+                         });
+
+TEST(MessageWireBytes, SinglePacket) {
+    EXPECT_EQ(messageWireBytes(1), 1 + kHeaderBytes + kFrameOverhead);
+    EXPECT_EQ(messageWireBytes(1442), 1442 + kHeaderBytes + kFrameOverhead);
+}
+
+TEST(MessageWireBytes, MultiPacket) {
+    EXPECT_EQ(messageWireBytes(1443), 1443 + 2 * (kHeaderBytes + kFrameOverhead));
+    EXPECT_EQ(messageWireBytes(10 * 1442),
+              10 * 1442 + 10 * (kHeaderBytes + kFrameOverhead));
+}
+
+TEST(TrafficGenerator, AchievesConfiguredLoad) {
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W2)));
+    TrafficConfig tcfg;
+    tcfg.workload = WorkloadId::W2;
+    tcfg.load = 0.5;
+    tcfg.stop = milliseconds(20);
+    TrafficGenerator gen(net, tcfg);
+    gen.start();
+    net.loop().runUntil(tcfg.stop);
+
+    // Offered wire bytes / capacity must be ~the requested load.
+    double wire = 0;
+    uint64_t n = gen.generatedMessages();
+    ASSERT_GT(n, 1000u);
+    wire = static_cast<double>(gen.generatedBytes()) +
+           /* header overhead approximation via mean */ 0.0;
+    const double capacity = 16 * 1.25e9 * toSeconds(tcfg.stop);
+    const double loadNoHeaders = wire / capacity;
+    EXPECT_GT(loadNoHeaders, 0.35);
+    EXPECT_LT(loadNoHeaders, 0.60);
+}
+
+TEST(TrafficGenerator, DestinationsNeverSelf) {
+    NetworkConfig cfg = NetworkConfig::singleRack16();
+    Network net(cfg, HomaTransport::factory({}, cfg, &workload(WorkloadId::W1)));
+    TrafficConfig tcfg;
+    tcfg.workload = WorkloadId::W1;
+    tcfg.load = 0.3;
+    tcfg.stop = milliseconds(2);
+    bool ok = true;
+    TrafficGenerator gen(net, tcfg, [&](const Message& m) {
+        if (m.src == m.dst) ok = false;
+    });
+    gen.start();
+    net.loop().run();
+    EXPECT_TRUE(ok);
+    EXPECT_GT(gen.generatedMessages(), 100u);
+}
+
+}  // namespace
+}  // namespace homa
