@@ -2,7 +2,7 @@
 // Homa's policy balances unscheduled bytes across levels; this sweep shows
 // why: too-low cutoffs starve mid-size messages, too-high cutoffs hurt the
 // majority.
-#include "core/unsched.h"
+#include "sched/priority_allocator.h"
 
 #include "bench_common.h"
 

@@ -1,0 +1,148 @@
+// Micro-benchmarks of the grant scheduling subsystem (google-benchmark).
+//
+// The headline measurement: per-packet grant update cost (one remaining-
+// bytes delta + one active-set decision) as a function of the number of
+// tracked inbound messages n. The incremental schedulers should be
+// O(log n); the legacy rescan-and-sort the receiver used to do is
+// O(n log n) and is reproduced here as the comparison baseline. CI runs
+// this binary with --benchmark_format=json to populate BENCH_sched.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sched/grant_scheduler.h"
+#include "sched/srpt_index.h"
+#include "sim/event_loop.h"
+#include "sim/random.h"
+
+namespace homa {
+namespace {
+
+GrantContext benchCtx() {
+    GrantContext ctx;
+    ctx.degree = 8;
+    ctx.schedLevels = 7;
+    ctx.rttBytes = 9640;
+    return ctx;
+}
+
+/// One simulated DATA arrival: delta the message's remaining bytes, then
+/// recompute the active set. This is the receiver's per-packet hot path.
+void runGrantUpdate(GrantScheduler& s, GrantPolicy, int n, Rng& rng,
+                    const GrantContext& ctx, std::vector<ActiveGrant>& out) {
+    const MsgId id = 1 + rng.below(static_cast<uint64_t>(n));
+    s.update(id, 1000 + static_cast<int64_t>(rng.below(2'000'000)));
+    s.decide(ctx, out);
+    benchmark::DoNotOptimize(out.data());
+}
+
+void grantUpdateBench(benchmark::State& state, GrantPolicy policy) {
+    const int n = static_cast<int>(state.range(0));
+    auto s = makeGrantScheduler(policy);
+    Rng rng(7);
+    for (MsgId id = 1; id <= static_cast<MsgId>(n); id++) {
+        s->add(id, 1000 + static_cast<int64_t>(rng.below(2'000'000)),
+               static_cast<Time>(id));
+    }
+    const GrantContext ctx = benchCtx();
+    std::vector<ActiveGrant> out;
+    for (auto _ : state) {
+        runGrantUpdate(*s, policy, n, rng, ctx, out);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetComplexityN(n);
+}
+
+void BM_GrantUpdate_Srpt(benchmark::State& state) {
+    grantUpdateBench(state, GrantPolicy::Srpt);
+}
+BENCHMARK(BM_GrantUpdate_Srpt)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Complexity(benchmark::oLogN);
+
+void BM_GrantUpdate_Fifo(benchmark::State& state) {
+    grantUpdateBench(state, GrantPolicy::Fifo);
+}
+BENCHMARK(BM_GrantUpdate_Fifo)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_GrantUpdate_RoundRobin(benchmark::State& state) {
+    grantUpdateBench(state, GrantPolicy::RoundRobin);
+}
+BENCHMARK(BM_GrantUpdate_RoundRobin)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_GrantUpdate_Unlimited(benchmark::State& state) {
+    grantUpdateBench(state, GrantPolicy::Unlimited);
+}
+BENCHMARK(BM_GrantUpdate_Unlimited)->RangeMultiplier(8)->Range(8, 32768);
+
+/// The legacy receiver hot path: collect every needy message, sort by
+/// remaining, take the top `degree`. O(n log n) per packet — kept as the
+/// baseline the incremental scheduler is measured against.
+void BM_GrantUpdate_LegacyRescan(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    std::vector<std::pair<int64_t, MsgId>> messages(n);
+    for (int i = 0; i < n; i++) {
+        messages[i] = {1000 + static_cast<int64_t>(rng.below(2'000'000)),
+                       static_cast<MsgId>(i + 1)};
+    }
+    std::vector<std::pair<int64_t, MsgId>> needy;
+    for (auto _ : state) {
+        const size_t victim = rng.below(static_cast<uint64_t>(n));
+        messages[victim].first =
+            1000 + static_cast<int64_t>(rng.below(2'000'000));
+        needy.assign(messages.begin(), messages.end());
+        std::sort(needy.begin(), needy.end());
+        benchmark::DoNotOptimize(needy.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_GrantUpdate_LegacyRescan)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_SrptIndexUpsert(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    SrptIndex<MsgId> idx;
+    Rng rng(3);
+    for (MsgId id = 1; id <= static_cast<MsgId>(n); id++) {
+        idx.upsert(id, static_cast<int64_t>(rng.below(1 << 20)));
+    }
+    for (auto _ : state) {
+        const MsgId id = 1 + rng.below(static_cast<uint64_t>(n));
+        idx.upsert(id, static_cast<int64_t>(rng.below(1 << 20)));
+        benchmark::DoNotOptimize(idx.best());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_SrptIndexUpsert)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Complexity(benchmark::oLogN);
+
+/// Timer arm/cancel churn: the receiver re-arms its timeout scan on every
+/// packet, so this rides the pooled-event slab.
+void BM_TimerRearm(benchmark::State& state) {
+    EventLoop loop;
+    int fired = 0;
+    Timer t(loop, [&] { fired++; });
+    for (auto _ : state) {
+        t.schedule(1000);
+    }
+    t.cancel();
+    loop.run();
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerRearm);
+
+}  // namespace
+}  // namespace homa
+
+BENCHMARK_MAIN();

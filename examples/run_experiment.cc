@@ -1,9 +1,10 @@
 // Command-line experiment runner: the repo's Swiss-army knife.
 //
-//   example_run_experiment --workload W3 --protocol Homa --load 0.8 \
-//       --window-ms 10 [--seed 99] [--wire-priorities 8] [--sched K]
-//       [--unsched K] [--cutoff BYTES] [--unsched-bytes N]
-//       [--reservation F] [--single-rack] [--wasted-bw]
+//   example_run_experiment --workload W3 --protocol Homa --load 0.8 --window-ms 10
+//
+// plus optional knobs: [--seed N] [--wire-priorities N] [--sched K]
+// [--unsched K] [--cutoff BYTES] [--unsched-bytes N] [--reservation F]
+// [--grant-policy srpt|fifo|rr|unlimited] [--single-rack] [--wasted-bw]
 //
 // Prints the slowdown-by-decile table, utilization, queue occupancy, and
 // priority usage for any protocol/workload/parameter combination — every
@@ -31,7 +32,8 @@ namespace {
         "  --single-rack           16-host cluster instead of the fat-tree\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
-        "              --overcommit N, --no-incast-control\n"
+        "              --overcommit N, --no-incast-control,\n"
+        "              --grant-policy srpt|fifo|rr|unlimited\n"
         "  --wasted-bw             sample the Figure 16 wasted-bw probe\n");
     std::exit(2);
 }
@@ -86,6 +88,21 @@ int main(int argc, char** argv) {
             cfg.proto.homa.oldestReservation = std::stod(next());
         } else if (arg == "--overcommit") {
             cfg.proto.homa.overcommitDegree = std::stoi(next());
+        } else if (arg == "--grant-policy") {
+            const std::string name = next();
+            bool found = false;
+            for (GrantPolicy p : {GrantPolicy::Srpt, GrantPolicy::Fifo,
+                                  GrantPolicy::RoundRobin,
+                                  GrantPolicy::Unlimited}) {
+                if (name == grantPolicyName(p)) {
+                    cfg.proto.homa.grantPolicy = p;
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr, "unknown grant policy: %s\n", name.c_str());
+                usage();
+            }
         } else if (arg == "--no-incast-control") {
             cfg.proto.homa.incastControl = false;
         } else if (arg == "--wasted-bw") {

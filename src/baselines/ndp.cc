@@ -50,43 +50,39 @@ void NdpTransport::sendMessage(const Message& m) {
     }
 }
 
+void NdpTransport::syncPull(InMessage& im) {
+    if (im.wantsPull(cfg_.initialWindow)) {
+        pullRing_.insert(im.meta.id);
+    } else {
+        pullRing_.erase(im.meta.id);
+    }
+}
+
 void NdpTransport::pacerTick() {
-    // Round-robin (fair-share) pull across incomplete inbound messages.
-    if (in_.empty()) {
+    // Round-robin (fair-share) pull across the messages that want one.
+    const auto id = pullRing_.next();
+    if (!id) {
         pacerRunning_ = false;
         return;
     }
-    auto it = in_.begin();
-    std::advance(it, rrCursor_ % in_.size());
-    bool issued = false;
-    for (size_t step = 0; step < in_.size() && !issued; step++, ++it) {
-        if (it == in_.end()) it = in_.begin();
-        InMessage& im = it->second;
-        if (!im.wantsPull(cfg_.initialWindow)) continue;
-
-        Packet pull;
-        pull.type = PacketType::Pull;
-        pull.dst = im.meta.src;
-        pull.msg = im.meta.id;
-        pull.priority = kHighestPriority;
-        if (!im.trimmed.empty()) {
-            pull.offset = *im.trimmed.begin();
-            pull.setFlag(kFlagRetransmit);
-            im.trimmed.erase(im.trimmed.begin());
-        } else {
-            pull.offset = static_cast<uint32_t>(im.pulledTo);
-            im.pulledTo = std::min<int64_t>(
-                im.pulledTo + kMaxPayload, im.reasm.messageLength());
-        }
-        host_.pushPacket(pull);
-        issued = true;
-    }
-    rrCursor_++;
-    if (issued) {
-        pacer_.schedule(packetTime_);
+    InMessage& im = in_.at(*id);
+    Packet pull;
+    pull.type = PacketType::Pull;
+    pull.dst = im.meta.src;
+    pull.msg = im.meta.id;
+    pull.priority = kHighestPriority;
+    if (!im.trimmed.empty()) {
+        pull.offset = *im.trimmed.begin();
+        pull.setFlag(kFlagRetransmit);
+        im.trimmed.erase(im.trimmed.begin());
     } else {
-        pacerRunning_ = false;
+        pull.offset = static_cast<uint32_t>(im.pulledTo);
+        im.pulledTo = std::min<int64_t>(
+            im.pulledTo + kMaxPayload, im.reasm.messageLength());
     }
+    host_.pushPacket(pull);
+    syncPull(im);
+    pacer_.schedule(packetTime_);
 }
 
 void NdpTransport::handlePacket(const Packet& p) {
@@ -143,11 +139,15 @@ void NdpTransport::handlePacket(const Packet& p) {
                 Message meta = im.meta;
                 DeliveryInfo acc = im.acc;
                 acc.completed = host_.loop().now();
+                pullRing_.erase(meta.id);
                 in_.erase(it);
                 notifyDelivered(meta, acc);
-            } else if (!pacerRunning_) {
-                pacerRunning_ = true;
-                pacer_.schedule(0);
+            } else {
+                syncPull(im);
+                if (!pacerRunning_) {
+                    pacerRunning_ = true;
+                    pacer_.schedule(0);
+                }
             }
             return;
         }

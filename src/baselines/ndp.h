@@ -15,6 +15,8 @@
 #include <deque>
 #include <map>
 #include <optional>
+
+#include "sched/round_robin.h"
 #include <set>
 
 #include "sim/event_loop.h"
@@ -63,13 +65,17 @@ private:
     void pacerTick();
     void sendChunk(const Message& msg, uint32_t offset, uint32_t len,
                    bool retransmit);
+    /// Keep `im`'s membership in the pull ring equal to wantsPull().
+    void syncPull(InMessage& im);
 
     HostServices& host_;
     NdpConfig cfg_;
     Duration packetTime_;
     std::map<MsgId, OutMessage> out_;
     std::map<MsgId, InMessage> in_;
-    size_t rrCursor_ = 0;
+    // Fair-share pull rotation over exactly the messages that want a pull;
+    // replaces an O(n) cursor scan of the whole inbound table per tick.
+    RoundRobinSet<MsgId> pullRing_;
     Timer pacer_;
     bool pacerRunning_ = false;
 };

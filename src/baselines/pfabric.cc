@@ -11,19 +11,25 @@ PFabricTransport::PFabricTransport(HostServices& host, PFabricConfig cfg)
 void PFabricTransport::sendMessage(const Message& m) {
     OutMessage om(m);
     om.lastAckActivity = host_.loop().now();
-    out_.emplace(m.id, std::move(om));
+    auto it = out_.emplace(m.id, std::move(om)).first;
+    syncSendable(it->second);
     if (!rtoScan_.armed()) rtoScan_.schedule(cfg_.rto);
     host_.kickNic();
 }
 
+void PFabricTransport::syncSendable(const OutMessage& om) {
+    if (om.sendable(cfg_.windowBytes)) {
+        sendable_.upsert(om.msg.id, om.remaining());
+    } else {
+        sendable_.erase(om.msg.id);
+    }
+}
+
 std::optional<Packet> PFabricTransport::pullPacket() {
     // Sender-side SRPT by remaining (unacked) bytes.
-    OutMessage* best = nullptr;
-    for (auto& [id, om] : out_) {
-        if (!om.sendable(cfg_.windowBytes)) continue;
-        if (best == nullptr || om.remaining() < best->remaining()) best = &om;
-    }
-    if (best == nullptr) return std::nullopt;
+    const auto id = sendable_.best();
+    if (!id) return std::nullopt;
+    OutMessage* best = &out_.at(*id);
 
     uint32_t offset, chunk;
     bool retrans = false;
@@ -57,6 +63,7 @@ std::optional<Packet> PFabricTransport::pullPacket() {
     // irrelevant here (PFabricQdisc ignores it for data).
     p.remaining = static_cast<uint32_t>(std::max<int64_t>(0, best->remaining()));
     p.priority = 0;
+    syncSendable(*best);
     return p;
 }
 
@@ -69,7 +76,10 @@ void PFabricTransport::handlePacket(const Packet& p) {
         om.inFlight = std::max<int64_t>(0, om.inFlight - fresh);
         om.lastAckActivity = host_.loop().now();
         if (om.acked.complete()) {
+            sendable_.erase(p.msg);
             out_.erase(it);
+        } else {
+            syncSendable(om);
         }
         host_.kickNic();
         return;
@@ -126,12 +136,14 @@ void PFabricTransport::checkTimeouts() {
         if (gap->first >= om.nextOffset) {
             // Nothing sent is unacked; the window was just idle.
             om.inFlight = 0;
+            syncSendable(om);
             continue;
         }
         const uint32_t len = std::min<uint32_t>(gap->second, kMaxPayload);
         om.retransmit = std::make_pair(gap->first, len);
         om.inFlight = 0;
         om.lastAckActivity = now;
+        syncSendable(om);
     }
     if (any) {
         rtoScan_.schedule(cfg_.rto / 2);

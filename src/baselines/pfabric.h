@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 
+#include "sched/srpt_index.h"
 #include "sim/event_loop.h"
 #include "sim/topology.h"
 #include "transport/transport.h"
@@ -66,11 +67,14 @@ private:
     };
 
     void checkTimeouts();
+    void syncSendable(const OutMessage& om);
 
     HostServices& host_;
     PFabricConfig cfg_;
     std::map<MsgId, OutMessage> out_;
     std::map<MsgId, InMessage> in_;
+    // SRPT order over the sendable subset of out_, keyed by remaining().
+    SrptIndex<MsgId> sendable_;
     Timer rtoScan_;
     uint64_t retransmissions_ = 0;
 };

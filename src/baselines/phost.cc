@@ -16,29 +16,35 @@ void PHostTransport::sendMessage(const Message& m) {
     OutMessage om;
     om.msg = m;
     om.unschedLimit = std::min<int64_t>(cfg_.rttBytes, m.length);
-    out_.emplace(m.id, std::move(om));
+    auto it = out_.emplace(m.id, std::move(om)).first;
+    sendable_.upsert(m.id, it->second.remaining());
     host_.kickNic();
 }
 
 std::optional<Packet> PHostTransport::pullPacket() {
-    // Expire stale tokens first (the receiver's scheduled slot has passed;
-    // using an old token now would congest its downlink).
-    if (cfg_.tokenTtl > 0) {
-        const Time now = host_.loop().now();
-        for (auto& [id, om] : out_) {
+    // Sender-side SRPT among messages with something transmittable. Token
+    // expiry is checked lazily when a message surfaces as best: stale
+    // tokens mean the receiver's scheduled slot has passed, and using one
+    // now would congest its downlink.
+    const Time now = host_.loop().now();
+    OutMessage* best = nullptr;
+    for (;;) {
+        const auto id = sendable_.best();
+        if (!id) return std::nullopt;
+        OutMessage& om = out_.at(*id);
+        if (cfg_.tokenTtl > 0) {
             while (!om.tokens.empty() &&
                    now - om.tokens.front() > cfg_.tokenTtl) {
                 om.tokens.pop_front();
             }
         }
+        if (!om.sendable()) {
+            sendable_.erase(*id);  // re-enters when a fresh token arrives
+            continue;
+        }
+        best = &om;
+        break;
     }
-    // Sender-side SRPT among messages with something transmittable.
-    OutMessage* best = nullptr;
-    for (auto& [id, om] : out_) {
-        if (!om.sendable()) continue;
-        if (best == nullptr || om.remaining() < best->remaining()) best = &om;
-    }
-    if (best == nullptr) return std::nullopt;
 
     const bool unscheduled = best->nextOffset < best->unschedLimit;
     const int64_t limit =
@@ -60,44 +66,68 @@ std::optional<Packet> PHostTransport::pullPacket() {
     if (!unscheduled) best->tokens.pop_front();
     if (best->nextOffset >= best->msg.length) {
         p.setFlag(kFlagLast);
+        sendable_.erase(best->msg.id);
         out_.erase(best->msg.id);
+    } else if (best->sendable()) {
+        sendable_.upsert(best->msg.id, best->remaining());
+    } else {
+        sendable_.erase(best->msg.id);
     }
     return p;
 }
 
-PHostTransport::InMessage* PHostTransport::chooseGrantee() {
-    // SRPT over messages still needing tokens; demote unresponsive senders
-    // (free-token timeout) so the pacer is not wasted on them forever.
-    const Time now = host_.loop().now();
-    InMessage* best = nullptr;
-    for (auto& [id, im] : in_) {
-        // Lagging check first: a fully-granted message whose sender went
-        // quiet must have its token accounting rolled back (the sender let
-        // them expire) or it could never be re-scheduled.
-        const bool lagging =
-            im.tokensSent > static_cast<int64_t>(im.reasm.receivedBytes()) &&
-            now - im.lastData > cfg_.freeTokenTimeout;
-        if (lagging) {
-            im.demoted = true;
-            im.tokensSent = im.reasm.receivedBytes();
-        }
-        if (!im.needsTokens() || im.demoted) continue;
-        if (best == nullptr || im.remaining() < best->remaining()) best = &im;
+void PHostTransport::syncGrantee(InMessage& im) {
+    const MsgId id = im.meta.id;
+    const bool outstanding =
+        im.tokensSent > static_cast<int64_t>(im.reasm.receivedBytes());
+    if (im.indexedLastData >= 0 &&
+        (!outstanding || im.indexedLastData != im.lastData)) {
+        staleness_.erase({im.indexedLastData, id});
+        im.indexedLastData = -1;
     }
-    if (best == nullptr) {
-        // Everyone is demoted (or nothing needs tokens): as a last resort
-        // grant to the SRPT-best demoted message anyway.
-        for (auto& [id, im] : in_) {
-            if (!im.needsTokens()) continue;
-            if (best == nullptr || im.remaining() < best->remaining()) best = &im;
-        }
+    if (outstanding && im.indexedLastData < 0) {
+        staleness_.insert({im.lastData, id});
+        im.indexedLastData = im.lastData;
     }
-    return best;
+    if (!im.needsTokens()) {
+        eligible_.erase(id);
+        demotedIdx_.erase(id);
+    } else if (im.demoted) {
+        eligible_.erase(id);
+        demotedIdx_.upsert(id, im.remaining());
+    } else {
+        demotedIdx_.erase(id);
+        eligible_.upsert(id, im.remaining());
+    }
+}
+
+void PHostTransport::dropGrantee(InMessage& im) {
+    const MsgId id = im.meta.id;
+    if (im.indexedLastData >= 0) staleness_.erase({im.indexedLastData, id});
+    im.indexedLastData = -1;
+    eligible_.erase(id);
+    demotedIdx_.erase(id);
 }
 
 void PHostTransport::pacerTick() {
-    InMessage* im = chooseGrantee();
-    if (im == nullptr) {
+    const Time now = host_.loop().now();
+    // Free-token timeout, stalest first: a message with outstanding tokens
+    // whose sender went quiet has its token accounting rolled back (the
+    // sender let them expire) or it could never be re-scheduled. The sweep
+    // stops at the first still-live entry, so it touches only actually
+    // stale messages instead of scanning the whole table per tick.
+    while (!staleness_.empty() &&
+           now - staleness_.begin()->first > cfg_.freeTokenTimeout) {
+        InMessage& im = in_.at(staleness_.begin()->second);
+        im.demoted = true;
+        im.tokensSent = im.reasm.receivedBytes();
+        syncGrantee(im);
+    }
+    // SRPT over messages still needing tokens; if everyone is demoted, as
+    // a last resort grant to the SRPT-best demoted message anyway.
+    auto pick = eligible_.best();
+    if (!pick) pick = demotedIdx_.best();
+    if (!pick) {
         if (!in_.empty()) {
             // Nothing grantable right now (all granted or demoted), but
             // incomplete messages remain: check back on the free-token
@@ -108,13 +138,15 @@ void PHostTransport::pacerTick() {
         pacerRunning_ = false;
         return;
     }
+    InMessage& im = in_.at(*pick);
     Packet t;
     t.type = PacketType::Token;
-    t.dst = im->meta.src;
-    t.msg = im->meta.id;
+    t.dst = im.meta.src;
+    t.msg = im.meta.id;
     t.priority = kHighestPriority;
     host_.pushPacket(t);
-    im->tokensSent += kMaxPayload;
+    im.tokensSent += kMaxPayload;
+    syncGrantee(im);
     pacer_.schedule(packetTime_);
 }
 
@@ -124,6 +156,7 @@ void PHostTransport::handlePacket(const Packet& p) {
             auto it = out_.find(p.msg);
             if (it == out_.end()) return;  // message already fully sent
             it->second.tokens.push_back(host_.loop().now());
+            sendable_.upsert(p.msg, it->second.remaining());
             host_.kickNic();
             return;
         }
@@ -152,8 +185,11 @@ void PHostTransport::handlePacket(const Packet& p) {
                 Message meta = im.meta;
                 DeliveryInfo acc = im.acc;
                 acc.completed = host_.loop().now();
+                dropGrantee(im);
                 in_.erase(it);
                 notifyDelivered(meta, acc);
+            } else {
+                syncGrantee(im);
             }
             if (!pacerRunning_ && !in_.empty()) {
                 pacerRunning_ = true;
@@ -169,11 +205,7 @@ void PHostTransport::handlePacket(const Packet& p) {
 bool PHostTransport::hasWithheldWork() const {
     // pHost grants to one message at a time; any other token-needing
     // message is withheld by design.
-    int needy = 0;
-    for (const auto& [id, im] : in_) {
-        if (im.needsTokens()) needy++;
-    }
-    return needy > 1;
+    return eligible_.size() + demotedIdx_.size() > 1;
 }
 
 TransportFactory PHostTransport::factory(PHostConfig cfg,

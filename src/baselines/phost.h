@@ -12,7 +12,10 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 
+#include "sched/srpt_index.h"
 #include "sim/event_loop.h"
 #include "sim/topology.h"
 #include "transport/transport.h"
@@ -67,6 +70,7 @@ private:
         DeliveryInfo acc;
         int64_t tokensSent = 0;     // scheduled bytes requested so far
         Time lastData = 0;
+        Time indexedLastData = -1;  // key under which staleness_ holds us
         bool demoted = false;       // free-token timeout hit; skip until data
         InMessage(Message m, uint32_t len) : meta(m), reasm(len) {}
         int64_t remaining() const {
@@ -79,13 +83,26 @@ private:
     };
 
     void pacerTick();
-    InMessage* chooseGrantee();
+    /// Re-sync `im`'s membership in the grantee indexes after any change
+    /// to its token accounting, reassembly progress, or demotion state.
+    void syncGrantee(InMessage& im);
+    void dropGrantee(InMessage& im);
 
     HostServices& host_;
     PHostConfig cfg_;
     Duration packetTime_;  // downlink serialization time of a full packet
     std::map<MsgId, OutMessage> out_;
     std::map<MsgId, InMessage> in_;
+    // Sender-side SRPT over (possibly stale-)sendable messages; token
+    // expiry is applied lazily when a message surfaces as best.
+    SrptIndex<MsgId> sendable_;
+    // Incremental grantee choice (was a full scan per pacer tick):
+    // SRPT order over token-needing messages, split by demotion state, and
+    // a lastData-ordered set of messages with outstanding tokens so the
+    // free-token-timeout sweep touches only actually-stale entries.
+    SrptIndex<MsgId> eligible_;   // needsTokens && !demoted
+    SrptIndex<MsgId> demotedIdx_; // needsTokens && demoted (last resort)
+    std::set<std::pair<Time, MsgId>> staleness_;  // tokens outstanding
     Timer pacer_;
     bool pacerRunning_ = false;
 };

@@ -71,23 +71,25 @@ void PiasTransport::sendMessage(const Message& m) {
     om.msg = m;
     om.cwnd = static_cast<double>(cfg_.initialWindow);
     om.rttStart = host_.loop().now();
-    out_.emplace(m.id, std::move(om));
+    auto it = out_.emplace(m.id, std::move(om)).first;
+    syncSend(it->second);
     host_.kickNic();
+}
+
+void PiasTransport::syncSend(const OutMessage& om) {
+    if (om.sendable()) {
+        sendRing_.insert(om.msg.id);
+    } else {
+        sendRing_.erase(om.msg.id);
+    }
 }
 
 std::optional<Packet> PiasTransport::pullPacket() {
     // PIAS senders have no SRPT (sizes unknown); fair round-robin across
     // windowed flows.
-    if (out_.empty()) return std::nullopt;
-    auto it = out_.begin();
-    std::advance(it, rrCursor_ % out_.size());
-    for (size_t step = 0; step < out_.size(); step++, ++it) {
-        if (it == out_.end()) it = out_.begin();
-        if (it->second.sendable()) break;
-        if (step + 1 == out_.size()) return std::nullopt;
-    }
-    rrCursor_++;
-    OutMessage& om = it->second;
+    const auto id = sendRing_.next();
+    if (!id) return std::nullopt;
+    OutMessage& om = out_.at(*id);
 
     const uint32_t chunk = static_cast<uint32_t>(std::min<int64_t>(
         kMaxPayload, om.msg.length - om.nextOffset));
@@ -103,6 +105,7 @@ std::optional<Packet> PiasTransport::pullPacket() {
     p.priority = priorityForBytesSent(om.nextOffset);
     om.nextOffset += chunk;
     if (om.nextOffset >= om.msg.length) p.setFlag(kFlagLast);
+    syncSend(om);
     return p;
 }
 
@@ -133,7 +136,10 @@ void PiasTransport::onAck(const Packet& p) {
     }
 
     if (om.ackedBytes >= om.msg.length) {
+        sendRing_.erase(p.msg);
         out_.erase(it);
+    } else {
+        syncSend(om);
     }
     host_.kickNic();
 }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/round_robin.h"
 #include "sim/topology.h"
 #include "transport/transport.h"
 #include "workload/distribution.h"
@@ -76,12 +77,15 @@ private:
 
     uint8_t priorityForBytesSent(int64_t bytesSent) const;
     void onAck(const Packet& p);
+    void syncSend(const OutMessage& om);
 
     HostServices& host_;
     PiasConfig cfg_;
     std::map<MsgId, OutMessage> out_;
     std::map<MsgId, InMessage> in_;
-    size_t rrCursor_ = 0;
+    // Fair round-robin over exactly the windowed (sendable) flows;
+    // replaces an O(n) cursor scan of out_ per pulled packet.
+    RoundRobinSet<MsgId> sendRing_;
 };
 
 }  // namespace homa

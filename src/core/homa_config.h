@@ -4,11 +4,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/grant_scheduler.h"
 #include "sim/time.h"
 
 namespace homa {
 
 struct HomaConfig {
+    /// Grant scheduling policy of the receiver (src/sched/). Srpt is the
+    /// paper's receiver; Unlimited turns Homa into the "basic transport"
+    /// strawman; Fifo/RoundRobin are ordering ablations approximating the
+    /// fair-share baselines.
+    GrantPolicy grantPolicy = GrantPolicy::Srpt;
+
     /// Bandwidth-delay product of the grant control loop: a sender may
     /// transmit this many bytes of a message blindly (§2.2); receivers keep
     /// this many bytes granted-but-not-received per active message (§3.3).

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "core/homa_config.h"
-#include "core/unsched.h"
+#include "sched/priority_allocator.h"
 #include "transport/transport.h"
 
 namespace homa {
@@ -14,7 +14,7 @@ struct HomaContext {
     HostServices& host;
     HomaConfig cfg;
     int64_t rttBytes;            // resolved (config override or topology)
-    PriorityAllocation alloc;    // current unsched/sched split + cutoffs
+    PriorityAllocator prio;      // current unsched/sched split + cutoffs
 
     /// Map a logical priority (0..logicalPriorities-1) onto the wire
     /// levels. The HomaPx experiments collapse adjacent levels; the

@@ -8,6 +8,7 @@ namespace homa {
 HomaReceiver::HomaReceiver(HomaContext& ctx, DeliverFn deliver)
     : ctx_(ctx),
       deliver_(std::move(deliver)),
+      sched_(makeGrantScheduler(ctx.cfg.grantPolicy)),
       timeoutScan_(ctx.host.loop(), [this] { checkTimeouts(); }) {}
 
 bool HomaReceiver::recentlyCompleted(MsgId id) const {
@@ -40,6 +41,9 @@ void HomaReceiver::handleData(const Packet& p) {
         // bytes count as already granted.
         im.grantedTo = ctx_.unschedLimitFor(p.messageLength, p.flags);
         it = in_.emplace(p.msg, std::move(im)).first;
+        if (!it->second.fullyGranted()) {
+            sched_->add(p.msg, it->second.remaining(), meta.created);
+        }
     }
 
     InMessage& im = it->second;
@@ -55,12 +59,14 @@ void HomaReceiver::handleData(const Packet& p) {
         DeliveryInfo info = im.acc;
         info.completed = ctx_.host.loop().now();
         noteCompleted(p.msg);
+        sched_->remove(p.msg);
         in_.erase(it);
-        updateGrants();  // a finished message may unblock a withheld one
+        applyGrantDecision();  // a finished message may unblock a withheld one
         deliver_(meta, info);
         return;
     }
-    updateGrants();
+    if (sched_->contains(p.msg)) sched_->update(p.msg, im.remaining());
+    applyGrantDecision();
     if (!timeoutScan_.armed()) timeoutScan_.schedule(ctx_.cfg.resendTimeout / 2);
 }
 
@@ -71,88 +77,44 @@ void HomaReceiver::handleBusy(const Packet& p) {
     it->second.resends = 0;  // the sender is alive, just occupied
 }
 
-void HomaReceiver::updateGrants() {
-    // Messages that still need grant progress, SRPT order (fewest bytes
-    // remaining to receive first).
-    std::vector<InMessage*> needy;
-    needy.reserve(in_.size());
-    for (auto& [id, im] : in_) {
-        if (im.grantedTo < static_cast<int64_t>(im.reasm.messageLength())) {
-            needy.push_back(&im);
-        }
-    }
-    std::sort(needy.begin(), needy.end(), [](const InMessage* a, const InMessage* b) {
-        if (a->remaining() != b->remaining()) return a->remaining() < b->remaining();
-        return a->meta.id < b->meta.id;  // deterministic tie-break
-    });
+void HomaReceiver::issueGrant(InMessage& im, int64_t window, int logical) {
+    const int64_t target = std::min<int64_t>(
+        im.reasm.messageLength(), im.reasm.receivedBytes() + window);
+    const bool extends = target > im.grantedTo;
+    // Re-announce even without new bytes when the scheduled priority
+    // changed and granted data is still in flight (§3.4: the receiver
+    // sets the priority of each scheduled packet dynamically; a stale
+    // low priority would otherwise stick to the rest of the window).
+    const bool reprioritize =
+        logical != im.lastGrantPriority &&
+        im.grantedTo > static_cast<int64_t>(im.reasm.receivedBytes());
+    if (!extends && !reprioritize) return;
+    Packet g;
+    g.type = PacketType::Grant;
+    g.dst = im.meta.src;
+    g.msg = im.meta.id;
+    g.grantOffset = static_cast<uint32_t>(std::max<int64_t>(target, im.grantedTo));
+    g.grantPriority = static_cast<uint8_t>(logical);
+    g.priority = ctx_.controlPriority();
+    ctx_.host.pushPacket(g);
+    im.grantedTo = std::max(im.grantedTo, target);
+    im.lastGrantPriority = logical;
+}
 
-    const int degree = ctx_.cfg.overcommitDegree > 0 ? ctx_.cfg.overcommitDegree
-                                                     : ctx_.alloc.schedLevels;
-    int active = std::min<int>(degree, static_cast<int>(needy.size()));
-
-    // §5.1 future-work extension: the oldest message always stays active
-    // (with a reduced grant window) so pure SRPT cannot starve it forever.
-    InMessage* reserved = nullptr;
-    if (ctx_.cfg.oldestReservation > 0 && !needy.empty()) {
-        reserved = *std::min_element(
-            needy.begin(), needy.end(), [](const InMessage* a, const InMessage* b) {
-                return a->meta.created < b->meta.created;
-            });
-        const bool alreadyActive =
-            std::find(needy.begin(), needy.begin() + active, reserved) !=
-            needy.begin() + active;
-        if (!alreadyActive) {
-            // Give it the last active slot.
-            std::iter_swap(std::find(needy.begin(), needy.end(), reserved),
-                           needy.begin() + active - 1);
-        }
-    }
-    withheld_ = static_cast<int>(needy.size()) - active;
-
-    auto grantUpTo = [&](InMessage& im, int64_t window, int logical) {
-        const int64_t target = std::min<int64_t>(
-            im.reasm.messageLength(), im.reasm.receivedBytes() + window);
-        const bool extends = target > im.grantedTo;
-        // Re-announce even without new bytes when the scheduled priority
-        // changed and granted data is still in flight (§3.4: the receiver
-        // sets the priority of each scheduled packet dynamically; a stale
-        // low priority would otherwise stick to the rest of the window).
-        const bool reprioritize =
-            logical != im.lastGrantPriority &&
-            im.grantedTo > static_cast<int64_t>(im.reasm.receivedBytes());
-        if (!extends && !reprioritize) return;
-        Packet g;
-        g.type = PacketType::Grant;
-        g.dst = im.meta.src;
-        g.msg = im.meta.id;
-        g.grantOffset = static_cast<uint32_t>(std::max<int64_t>(target, im.grantedTo));
-        g.grantPriority = static_cast<uint8_t>(logical);
-        g.priority = ctx_.controlPriority();
-        ctx_.host.pushPacket(g);
-        im.grantedTo = std::max(im.grantedTo, target);
-        im.lastGrantPriority = logical;
-    };
-
-    for (int i = 0; i < active; i++) {
-        InMessage& im = *needy[i];
-        // Lowest-available-level policy (Figure 5): with k active messages
-        // they occupy logical levels 0..k-1; the shortest (i = 0) gets the
-        // highest of those. Extra active messages (degree > sched levels)
-        // share the top scheduled level.
-        int logical = std::min(active - 1 - i, ctx_.alloc.schedLevels - 1);
-        int64_t window = ctx_.rttBytes;
-        if (&im == reserved && active > 1) {
-            // Dedicating bandwidth in a priority system means sending at a
-            // priority that will actually be served: the reserved message
-            // trickles fraction*RTTbytes per RTT at the *top* scheduled
-            // level, i.e. ~fraction of the downlink regardless of SRPT.
-            window = std::max<int64_t>(
-                kMaxPayload,
-                static_cast<int64_t>(ctx_.cfg.oldestReservation *
-                                     static_cast<double>(ctx_.rttBytes)));
-            logical = ctx_.alloc.schedLevels - 1;
-        }
-        grantUpTo(im, window, logical);
+void HomaReceiver::applyGrantDecision() {
+    GrantContext gctx;
+    gctx.degree = ctx_.cfg.overcommitDegree;
+    gctx.schedLevels = ctx_.prio.schedLevels();
+    gctx.rttBytes = ctx_.rttBytes;
+    gctx.oldestReservation = ctx_.cfg.oldestReservation;
+    sched_->decide(gctx, grantBuf_);
+    for (const ActiveGrant& g : grantBuf_) {
+        auto it = in_.find(g.id);
+        if (it == in_.end()) continue;
+        issueGrant(it->second, g.window, g.logicalPriority);
+        // A fully-granted message needs no more scheduling; it leaves the
+        // active set (and frees its slot) until it completes or aborts.
+        if (it->second.fullyGranted()) sched_->remove(g.id);
     }
 }
 
@@ -178,6 +140,7 @@ void HomaReceiver::checkTimeouts() {
         }
         if (im.resends >= ctx_.cfg.maxResends) {
             aborted_++;
+            sched_->remove(it->first);
             it = in_.erase(it);
             continue;
         }

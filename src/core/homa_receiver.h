@@ -1,20 +1,24 @@
 // Receiver side of Homa: grant scheduling, overcommitment, priorities.
 //
-// The receiver is the brain of the protocol (§3.3-§3.5). On every DATA
-// arrival it recomputes the active set — the `overcommitDegree` incomplete
-// messages with the fewest remaining bytes — keeps RTTbytes granted but
-// unreceived for each, and assigns each active message its own scheduled
-// priority level, using the *lowest* available levels so that a newly
-// arriving shorter message can preempt via a higher level (Figure 5).
+// The receiver is the brain of the protocol (§3.3-§3.5), but the brain's
+// decision logic lives in src/sched/: a pluggable GrantScheduler tracks the
+// incomplete inbound messages incrementally and, after every delta, names
+// the active set — which messages to keep RTTbytes granted-but-unreceived
+// and at which scheduled priority level (Figure 5). This file owns the
+// per-message reassembly/grant state, turns scheduler decisions into GRANT
+// packets (skipping no-ops), and runs the timeout/RESEND/abort machinery
+// (§3.7).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "core/homa_context.h"
+#include "sched/grant_scheduler.h"
 #include "sim/event_loop.h"
 #include "transport/message.h"
 
@@ -32,11 +36,12 @@ public:
 
     /// True when an incomplete inbound message is being denied grants by
     /// the overcommitment limit (Figure 16's "withheld" condition).
-    bool hasWithheldWork() const { return withheld_ > 0; }
+    bool hasWithheldWork() const { return sched_->withheld() > 0; }
 
     size_t incompleteMessages() const { return in_.size(); }
     uint64_t abortedMessages() const { return aborted_; }
     uint64_t resendsSent() const { return resendsSent_; }
+    const GrantScheduler& scheduler() const { return *sched_; }
 
 private:
     struct InMessage {
@@ -53,9 +58,15 @@ private:
             return static_cast<int64_t>(reasm.messageLength()) -
                    reasm.receivedBytes();
         }
+        bool fullyGranted() const {
+            return grantedTo >= static_cast<int64_t>(reasm.messageLength());
+        }
     };
 
-    void updateGrants();
+    /// Ask the scheduler for the post-delta active set and issue the
+    /// implied GRANTs (no-ops suppressed). O(log n + degree) per call.
+    void applyGrantDecision();
+    void issueGrant(InMessage& im, int64_t window, int logical);
     void checkTimeouts();
     bool recentlyCompleted(MsgId id) const;
     void noteCompleted(MsgId id);
@@ -63,7 +74,8 @@ private:
     HomaContext& ctx_;
     DeliverFn deliver_;
     std::map<MsgId, InMessage> in_;
-    int withheld_ = 0;
+    std::unique_ptr<GrantScheduler> sched_;
+    std::vector<ActiveGrant> grantBuf_;  // reused per decision
     uint64_t aborted_ = 0;
     uint64_t resendsSent_ = 0;
 

@@ -14,8 +14,17 @@ void HomaSender::sendMessage(const Message& m) {
     // past the unscheduled region) go at the lowest level; the receiver's
     // first GRANT overrides this.
     om.schedPriority = 0;
-    out_.emplace(m.id, std::move(om));
+    auto it = out_.emplace(m.id, std::move(om)).first;
+    syncSendable(it->second);
     ctx_.host.kickNic();
+}
+
+void HomaSender::syncSendable(const OutMessage& om) {
+    if (om.sendable()) {
+        sendable_.upsert(om.msg.id, om.remaining());
+    } else {
+        sendable_.erase(om.msg.id);
+    }
 }
 
 void HomaSender::handleGrant(const Packet& p) {
@@ -24,6 +33,7 @@ void HomaSender::handleGrant(const Packet& p) {
     OutMessage& om = it->second;
     om.grantedTo = std::max<int64_t>(om.grantedTo, p.grantOffset);
     om.schedPriority = p.grantPriority;
+    syncSendable(om);
     ctx_.host.kickNic();
 }
 
@@ -70,16 +80,8 @@ void HomaSender::handleResend(const Packet& p) {
                                     static_cast<uint32_t>(resendEnd - p.offset));
         }
     }
+    syncSendable(om);
     ctx_.host.kickNic();
-}
-
-HomaSender::OutMessage* HomaSender::pickSrpt() {
-    OutMessage* best = nullptr;
-    for (auto& [id, om] : out_) {
-        if (!om.sendable()) continue;
-        if (best == nullptr || om.remaining() < best->remaining()) best = &om;
-    }
-    return best;
 }
 
 Packet HomaSender::makeDataPacket(OutMessage& om, uint32_t offset, uint32_t len,
@@ -98,7 +100,7 @@ Packet HomaSender::makeDataPacket(OutMessage& om, uint32_t offset, uint32_t len,
 
     const bool unscheduled = offset < om.unschedLimit;
     const int logical = unscheduled
-                            ? ctx_.alloc.unschedPriorityFor(om.msg.length)
+                            ? ctx_.prio.unschedPriorityFor(om.msg.length)
                             : om.schedPriority;
     p.priority = ctx_.wirePriority(logical);
     p.remaining = static_cast<uint32_t>(
@@ -107,8 +109,9 @@ Packet HomaSender::makeDataPacket(OutMessage& om, uint32_t offset, uint32_t len,
 }
 
 std::optional<Packet> HomaSender::pullPacket() {
-    OutMessage* om = pickSrpt();
-    if (om == nullptr) return std::nullopt;
+    const auto best = sendable_.best();
+    if (!best) return std::nullopt;
+    OutMessage* om = &out_.at(*best);
 
     Packet p;
     if (!om->resends.empty()) {
@@ -136,10 +139,13 @@ std::optional<Packet> HomaSender::pullPacket() {
         // reap. Lingering state is bounded by the linger window.
         om->lingerUntil = ctx_.host.loop().now() + ctx_.cfg.senderLinger;
         const MsgId id = om->msg.id;
+        sendable_.erase(id);
         auto it = out_.find(id);
         lingering_.emplace(id, std::move(it->second));
         out_.erase(it);
         scheduleReap();
+    } else {
+        syncSendable(*om);
     }
     return p;
 }

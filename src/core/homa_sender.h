@@ -4,7 +4,9 @@
 // only granted bytes. Among messages with transmittable bytes the sender
 // picks the one with the fewest remaining bytes (SRPT); the NIC pulls
 // packets one at a time so this ordering is re-evaluated per packet, which
-// models the paper's 2-full-packets NIC queue cap (§4).
+// models the paper's 2-full-packets NIC queue cap (§4). The ordering lives
+// in an incremental SrptIndex (src/sched/) kept in sync with sendability,
+// so each pull costs O(log n) instead of a scan of every message.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,7 @@
 #include <optional>
 
 #include "core/homa_context.h"
+#include "sched/srpt_index.h"
 #include "transport/message.h"
 
 namespace homa {
@@ -62,15 +65,19 @@ private:
 
     Packet makeDataPacket(OutMessage& om, uint32_t offset, uint32_t len,
                           bool retransmit) const;
-    OutMessage* pickSrpt();
+    /// Re-sync `om`'s membership/key in the sendable index after any state
+    /// change that can flip sendable() or change remaining().
+    void syncSendable(const OutMessage& om);
     void scheduleReap();
 
     HomaContext& ctx_;
-    // In-progress messages only; pickSrpt scans this per packet, so fully
-    // sent messages move to lingering_ (kept to answer RESENDs) and come
-    // back only if a retransmission is requested.
+    // In-progress messages only; fully sent messages move to lingering_
+    // (kept to answer RESENDs) and come back only if a retransmission is
+    // requested.
     std::map<MsgId, OutMessage> out_;
     std::map<MsgId, OutMessage> lingering_;
+    // SRPT order over the sendable subset of out_, keyed by remaining().
+    SrptIndex<MsgId> sendable_;
     bool reapScheduled_ = false;
 };
 

@@ -7,18 +7,19 @@ namespace homa {
 HomaTransport::HomaTransport(HostServices& host, HomaConfig cfg,
                              int64_t rttBytes,
                              const PriorityAllocation* precomputed)
-    : ctx_{host, cfg, rttBytes, PriorityAllocation{}},
+    : ctx_{host, cfg, rttBytes, PriorityAllocator{}},
       meter_(),
       onlineAllocation_(precomputed == nullptr) {
     assert(rttBytes > 0);
     if (precomputed != nullptr) {
-        ctx_.alloc = *precomputed;
+        ctx_.prio.setAllocation(*precomputed);
     } else {
         // Conservative startup: one unscheduled level (the top), the rest
         // scheduled; the meter refines this as traffic is observed.
-        ctx_.alloc.logicalLevels = cfg.logicalPriorities;
-        ctx_.alloc.unschedLevels = 1;
-        ctx_.alloc.schedLevels = cfg.logicalPriorities - 1;
+        PriorityAllocation& alloc = ctx_.prio.allocation();
+        alloc.logicalLevels = cfg.logicalPriorities;
+        alloc.unschedLevels = 1;
+        alloc.schedLevels = cfg.logicalPriorities - 1;
     }
     sender_ = std::make_unique<HomaSender>(ctx_);
     receiver_ = std::make_unique<HomaReceiver>(
@@ -27,8 +28,8 @@ HomaTransport::HomaTransport(HostServices& host, HomaConfig cfg,
                 meter_.recordMessage(m.length);
                 if (++messagesSinceRealloc_ >= 256) {
                     messagesSinceRealloc_ = 0;
-                    ctx_.alloc =
-                        meter_.allocate(ctx_.cfg, ctx_.rttBytes, ctx_.alloc);
+                    ctx_.prio.setAllocation(meter_.allocate(
+                        ctx_.cfg, ctx_.rttBytes, ctx_.prio.allocation()));
                 }
             }
             notifyDelivered(m, info);

@@ -1,0 +1,254 @@
+#include "sched/grant_scheduler.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "sched/round_robin.h"
+#include "sched/srpt_index.h"
+
+namespace homa {
+
+const char* grantPolicyName(GrantPolicy p) {
+    switch (p) {
+        case GrantPolicy::Srpt: return "srpt";
+        case GrantPolicy::Fifo: return "fifo";
+        case GrantPolicy::RoundRobin: return "rr";
+        case GrantPolicy::Unlimited: return "unlimited";
+    }
+    return "?";
+}
+
+int scheduledLevelFor(int rank, int activeCount, int schedLevels) {
+    return std::min(activeCount - 1 - rank, schedLevels - 1);
+}
+
+namespace {
+
+int resolveDegree(const GrantContext& ctx) {
+    return ctx.degree > 0 ? ctx.degree : ctx.schedLevels;
+}
+
+/// The paper's receiver: SRPT active set with overcommitment, Figure 5
+/// priority assignment, and the optional §5.1 oldest-message reservation.
+class SrptScheduler final : public GrantScheduler {
+public:
+    void add(MsgId id, int64_t remaining, Time created) override {
+        order_.upsert(id, remaining);
+        if (created_.emplace(id, created).second) byAge_.emplace(created, id);
+    }
+
+    void update(MsgId id, int64_t remaining) override {
+        order_.upsert(id, remaining);
+    }
+
+    void remove(MsgId id) override {
+        if (!order_.erase(id)) return;
+        auto it = created_.find(id);
+        byAge_.erase({it->second, id});
+        created_.erase(it);
+    }
+
+    bool contains(MsgId id) const override { return order_.contains(id); }
+    size_t size() const override { return order_.size(); }
+    int withheld() const override { return withheld_; }
+
+    void decide(const GrantContext& ctx, std::vector<ActiveGrant>& out) override {
+        out.clear();
+        const int active = std::min<int>(resolveDegree(ctx),
+                                         static_cast<int>(order_.size()));
+        withheld_ = static_cast<int>(order_.size()) - active;
+        if (active == 0) return;
+
+        // §5.1 extension: the oldest incomplete message always occupies the
+        // last active slot (with a reduced window at the top scheduled
+        // level) so pure SRPT cannot starve it forever.
+        MsgId reserved = 0;
+        bool haveReserved = false;
+        if (ctx.oldestReservation > 0 && !byAge_.empty()) {
+            reserved = byAge_.begin()->second;
+            haveReserved = true;
+        }
+
+        int rank = 0;
+        bool reservedListed = false;
+        order_.visitInOrder([&](MsgId id, int64_t) {
+            if (rank >= active) return false;
+            // Leave the last slot for the reserved message if it would not
+            // make the cut on its own.
+            if (haveReserved && !reservedListed && rank == active - 1 &&
+                id != reserved) {
+                return false;
+            }
+            if (haveReserved && id == reserved) reservedListed = true;
+            out.push_back(ActiveGrant{
+                id, rank, scheduledLevelFor(rank, active, ctx.schedLevels),
+                ctx.rttBytes});
+            rank++;
+            return true;
+        });
+        if (haveReserved && !reservedListed) {
+            out.push_back(ActiveGrant{reserved, active - 1,
+                                      scheduledLevelFor(active - 1, active,
+                                                        ctx.schedLevels),
+                                      ctx.rttBytes});
+        }
+        // The reserved message trickles fraction*RTTbytes per RTT at the
+        // *top* scheduled level, i.e. ~fraction of the downlink regardless
+        // of SRPT rank.
+        if (haveReserved && active > 1) {
+            for (ActiveGrant& g : out) {
+                if (g.id != reserved) continue;
+                g.window = std::max<int64_t>(
+                    kMaxPayload,
+                    static_cast<int64_t>(ctx.oldestReservation *
+                                         static_cast<double>(ctx.rttBytes)));
+                g.logicalPriority = ctx.schedLevels - 1;
+            }
+        }
+    }
+
+private:
+    SrptIndex<MsgId> order_;
+    std::unordered_map<MsgId, Time> created_;
+    std::set<std::pair<Time, MsgId>> byAge_;
+    int withheld_ = 0;
+};
+
+/// Active set in arrival order; everything else as in SRPT.
+class FifoScheduler final : public GrantScheduler {
+public:
+    void add(MsgId id, int64_t remaining, Time created) override {
+        (void)remaining;
+        if (pos_.count(id) != 0) return;
+        pos_.emplace(id, created);
+        byAge_.emplace(created, id);
+    }
+
+    void update(MsgId, int64_t) override {}
+
+    void remove(MsgId id) override {
+        auto it = pos_.find(id);
+        if (it == pos_.end()) return;
+        byAge_.erase({it->second, id});
+        pos_.erase(it);
+    }
+
+    bool contains(MsgId id) const override { return pos_.count(id) != 0; }
+    size_t size() const override { return pos_.size(); }
+    int withheld() const override { return withheld_; }
+
+    void decide(const GrantContext& ctx, std::vector<ActiveGrant>& out) override {
+        out.clear();
+        const int active =
+            std::min<int>(resolveDegree(ctx), static_cast<int>(pos_.size()));
+        withheld_ = static_cast<int>(pos_.size()) - active;
+        int rank = 0;
+        for (const auto& [created, id] : byAge_) {
+            if (rank >= active) break;
+            out.push_back(ActiveGrant{
+                id, rank, scheduledLevelFor(rank, active, ctx.schedLevels),
+                ctx.rttBytes});
+            rank++;
+        }
+    }
+
+private:
+    std::unordered_map<MsgId, Time> pos_;
+    std::set<std::pair<Time, MsgId>> byAge_;
+    int withheld_ = 0;
+};
+
+/// The active-set window rotates one message per decision: every tracked
+/// message receives grant bandwidth in turn, NDP/pHost fair-share style.
+class RoundRobinScheduler final : public GrantScheduler {
+public:
+    void add(MsgId id, int64_t, Time) override { ring_.insert(id); }
+    void update(MsgId, int64_t) override {}
+    void remove(MsgId id) override { ring_.erase(id); }
+    bool contains(MsgId id) const override { return ring_.contains(id); }
+    size_t size() const override { return ring_.size(); }
+    int withheld() const override { return withheld_; }
+
+    void decide(const GrantContext& ctx, std::vector<ActiveGrant>& out) override {
+        out.clear();
+        const int active =
+            std::min<int>(resolveDegree(ctx), static_cast<int>(ring_.size()));
+        withheld_ = static_cast<int>(ring_.size()) - active;
+        int rank = 0;
+        ring_.visit(static_cast<size_t>(active), [&](MsgId id) {
+            out.push_back(ActiveGrant{
+                id, rank, scheduledLevelFor(rank, active, ctx.schedLevels),
+                ctx.rttBytes});
+            rank++;
+        });
+        // Slide the window one member per decision: rotation.
+        ring_.advance();
+    }
+
+private:
+    RoundRobinSet<MsgId> ring_;
+    int withheld_ = 0;
+};
+
+/// Every message always granted (the "basic transport" strawman): a
+/// decision touches only the messages whose deltas arrived, so the cost is
+/// O(1) per packet and nothing is ever withheld.
+class UnlimitedScheduler final : public GrantScheduler {
+public:
+    void add(MsgId id, int64_t, Time) override {
+        auto [it, fresh] = members_.try_emplace(id, false);
+        markDirty(it);
+        (void)fresh;
+    }
+
+    void update(MsgId id, int64_t) override {
+        auto it = members_.find(id);
+        if (it != members_.end()) markDirty(it);
+    }
+
+    void remove(MsgId id) override { members_.erase(id); }
+    bool contains(MsgId id) const override { return members_.count(id) != 0; }
+    size_t size() const override { return members_.size(); }
+    int withheld() const override { return 0; }
+
+    void decide(const GrantContext& ctx, std::vector<ActiveGrant>& out) override {
+        out.clear();
+        for (MsgId id : dirty_) {
+            auto it = members_.find(id);
+            if (it == members_.end() || !it->second) continue;
+            it->second = false;
+            out.push_back(
+                ActiveGrant{id, 0, ctx.schedLevels - 1, ctx.rttBytes});
+        }
+        dirty_.clear();
+    }
+
+private:
+    using Member = std::unordered_map<MsgId, bool>::iterator;
+    void markDirty(Member it) {
+        if (it->second) return;
+        it->second = true;
+        dirty_.push_back(it->first);
+    }
+
+    std::unordered_map<MsgId, bool> members_;  // id -> dirty
+    std::vector<MsgId> dirty_;
+};
+
+}  // namespace
+
+std::unique_ptr<GrantScheduler> makeGrantScheduler(GrantPolicy policy) {
+    switch (policy) {
+        case GrantPolicy::Srpt: return std::make_unique<SrptScheduler>();
+        case GrantPolicy::Fifo: return std::make_unique<FifoScheduler>();
+        case GrantPolicy::RoundRobin:
+            return std::make_unique<RoundRobinScheduler>();
+        case GrantPolicy::Unlimited:
+            return std::make_unique<UnlimitedScheduler>();
+    }
+    return std::make_unique<SrptScheduler>();
+}
+
+}  // namespace homa

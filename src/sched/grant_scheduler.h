@@ -1,0 +1,101 @@
+// GrantScheduler: the receiver's grant/priority decision logic as a
+// pluggable policy (§3.3-§3.5).
+//
+// The receiver is "the brain of the protocol": on every DATA arrival it
+// must decide which incomplete inbound messages may be granted and at what
+// scheduled priority. This used to be a full rescan-and-sort of the message
+// table per packet inside HomaReceiver; it is now an incremental subsystem:
+// the transport feeds deltas (add / update / remove) and asks for the
+// grants to (re)issue, and each policy maintains whatever ordered index it
+// needs so a delta costs O(log n), not O(n log n).
+//
+// Policies:
+//  * Srpt       — the paper's receiver: the `degree` messages with fewest
+//                 remaining bytes form the active set, assigned scheduled
+//                 levels lowest-available-first (Figure 5), with the
+//                 optional §5.1 oldest-message bandwidth reservation.
+//  * Fifo       — active set in arrival order; the overcommitment and
+//                 priority machinery unchanged. The ordering ablation.
+//  * RoundRobin — the active-set window rotates one message per decision,
+//                 approximating the fair-share pull loops of NDP/pHost
+//                 inside the grant framework.
+//  * Unlimited  — every incomplete message is always granted (no active
+//                 set, nothing withheld): the "basic transport" strawman
+//                 the paper compares against. Grants refresh only for the
+//                 message whose delta arrived, so a decision is O(1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/time.h"
+
+namespace homa {
+
+enum class GrantPolicy : uint8_t {
+    Srpt,
+    Fifo,
+    RoundRobin,
+    Unlimited,
+};
+
+const char* grantPolicyName(GrantPolicy p);
+
+/// Lowest-available-level assignment for the scheduled active set
+/// (Figure 5): with k active messages they occupy logical levels 0..k-1,
+/// the most urgent (rank 0) highest; extra active messages (overcommit
+/// degree > scheduled levels) share the top scheduled level. The single
+/// authority for this formula — PriorityAllocator and every GrantScheduler
+/// policy delegate here.
+int scheduledLevelFor(int rank, int activeCount, int schedLevels);
+
+/// Per-decision inputs the transport resolves at call time (they can change
+/// during a run: the online priority allocation re-splits levels).
+struct GrantContext {
+    int degree = 0;              // overcommit degree; <= 0 -> schedLevels
+    int schedLevels = 1;         // scheduled logical levels available
+    int64_t rttBytes = 0;        // default grant window per active message
+    double oldestReservation = 0;  // §5.1: fraction of window for the oldest
+};
+
+/// One entry of the active set: the transport should ensure `id` is granted
+/// `window` bytes past what it has received, announced at `logicalPriority`.
+struct ActiveGrant {
+    MsgId id = 0;
+    int rank = 0;              // 0 = most urgent in the active set
+    int logicalPriority = 0;   // scheduled level to announce
+    int64_t window = 0;        // granted-but-unreceived byte budget
+};
+
+class GrantScheduler {
+public:
+    virtual ~GrantScheduler() = default;
+
+    /// A new incomplete message that still needs grant progress.
+    virtual void add(MsgId id, int64_t remaining, Time created) = 0;
+
+    /// Remaining-bytes delta for a tracked message (data arrived).
+    virtual void update(MsgId id, int64_t remaining) = 0;
+
+    /// Message no longer needs grants (fully granted, complete, aborted).
+    virtual void remove(MsgId id) = 0;
+
+    virtual bool contains(MsgId id) const = 0;
+    virtual size_t size() const = 0;
+
+    /// Fill `out` (cleared first) with the grants to (re)issue after the
+    /// preceding deltas. Policies return at most the active set; issuing a
+    /// listed grant must be idempotent for the transport (it already is:
+    /// HomaReceiver skips no-op grant packets).
+    virtual void decide(const GrantContext& ctx, std::vector<ActiveGrant>& out) = 0;
+
+    /// Messages currently denied grants by the overcommitment limit
+    /// (Figure 16's "withheld" condition), as of the last decide().
+    virtual int withheld() const = 0;
+};
+
+std::unique_ptr<GrantScheduler> makeGrantScheduler(GrantPolicy policy);
+
+}  // namespace homa

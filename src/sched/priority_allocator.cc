@@ -1,4 +1,4 @@
-#include "core/unsched.h"
+#include "sched/priority_allocator.h"
 
 #include <algorithm>
 #include <cassert>

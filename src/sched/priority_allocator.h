@@ -1,15 +1,23 @@
-// Priority allocation for unscheduled packets (§3.4, Figure 4).
+// Priority allocation: how Homa splits the 8 network levels (§3.4).
 //
-// A receiver splits the 8 levels between unscheduled and scheduled traffic
-// in proportion to the unscheduled fraction of its incoming bytes, then
-// picks message-size cutoffs so each unscheduled level carries an equal
-// share of unscheduled bytes (smaller messages on higher levels).
+// This file owns the whole priority story:
+//  * PriorityAllocation — the computed unscheduled/scheduled split plus the
+//    message-size cutoffs that spread unscheduled bytes evenly over the
+//    unscheduled levels (Figure 4);
+//  * PriorityAllocator — the live object a transport consults: unscheduled
+//    level for a message size, and the lowest-available-level assignment
+//    for the scheduled active set (Figure 5), which previously lived as an
+//    inline formula in the receiver;
+//  * TrafficMeter — the online variant that recomputes the allocation from
+//    recent traffic (§3.4 "uses recent traffic patterns").
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/homa_config.h"
+#include "sched/grant_scheduler.h"
 #include "workload/distribution.h"
 
 namespace homa {
@@ -29,6 +37,39 @@ struct PriorityAllocation {
 
     /// Lowest logical level reserved for unscheduled traffic.
     int lowestUnschedLevel() const { return logicalLevels - unschedLevels; }
+};
+
+/// The per-transport priority authority. Wraps the current allocation and
+/// answers both priority questions a transport has: which unscheduled level
+/// a message's blind bytes use, and which scheduled level an active-set
+/// member is granted at.
+class PriorityAllocator {
+public:
+    PriorityAllocator() = default;
+    explicit PriorityAllocator(PriorityAllocation a) : alloc_(std::move(a)) {}
+
+    const PriorityAllocation& allocation() const { return alloc_; }
+    PriorityAllocation& allocation() { return alloc_; }
+    void setAllocation(PriorityAllocation a) { alloc_ = std::move(a); }
+
+    int logicalLevels() const { return alloc_.logicalLevels; }
+    int schedLevels() const { return alloc_.schedLevels; }
+    int unschedLevels() const { return alloc_.unschedLevels; }
+
+    int unschedPriorityFor(uint32_t messageLength) const {
+        return alloc_.unschedPriorityFor(messageLength);
+    }
+
+    /// Lowest-available-level policy for the scheduled active set
+    /// (Figure 5); delegates to the shared scheduledLevelFor() authority.
+    int scheduledLevel(int rank, int activeCount) const {
+        return scheduledLevelFor(rank, activeCount, alloc_.schedLevels);
+    }
+
+    int topScheduledLevel() const { return alloc_.schedLevels - 1; }
+
+private:
+    PriorityAllocation alloc_;
 };
 
 /// Compute the allocation from a known workload distribution; this is what

@@ -1,0 +1,102 @@
+// O(1) round-robin membership ring.
+//
+// Replaces the `std::advance(it, cursor % map.size())` pattern (O(n) per
+// scheduling decision) in the fair-share transports: members sit on an
+// intrusive circular doubly-linked list threaded through an id -> node map,
+// and the cursor survives arbitrary insert/erase interleavings. `next()`
+// returns the member after the cursor and advances, so repeated calls cycle
+// fairly through the membership.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+namespace homa {
+
+template <typename Id>
+class RoundRobinSet {
+public:
+    /// Insert `id` just before the cursor position (it will be visited
+    /// last in the current cycle). No-op if already present.
+    bool insert(Id id) {
+        if (nodes_.count(id) != 0) return false;
+        if (!cursorValid_) {
+            auto [it, ok] = nodes_.try_emplace(id, Node{id, id});
+            (void)ok;
+            (void)it;
+            cursor_ = id;
+            cursorValid_ = true;
+            return true;
+        }
+        // Link before cursor: prev(cursor) <-> id <-> cursor.
+        Node& cur = nodes_.at(cursor_);
+        const Id prev = cur.prev;
+        nodes_.try_emplace(id, Node{prev, cursor_});
+        nodes_.at(prev).next = id;
+        cur.prev = id;
+        return true;
+    }
+
+    bool erase(Id id) {
+        auto it = nodes_.find(id);
+        if (it == nodes_.end()) return false;
+        const Node n = it->second;
+        if (n.next == id) {  // last member
+            nodes_.erase(it);
+            cursorValid_ = false;
+            return true;
+        }
+        nodes_.at(n.prev).next = n.next;
+        nodes_.at(n.next).prev = n.prev;
+        if (cursor_ == id) cursor_ = n.next;
+        nodes_.erase(it);
+        return true;
+    }
+
+    bool contains(Id id) const { return nodes_.count(id) != 0; }
+    size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+
+    /// The member at the cursor; advances the cursor to its successor.
+    std::optional<Id> next() {
+        if (!cursorValid_) return std::nullopt;
+        const Id id = cursor_;
+        cursor_ = nodes_.at(id).next;
+        return id;
+    }
+
+    /// The member at the cursor without advancing.
+    std::optional<Id> peek() const {
+        if (!cursorValid_) return std::nullopt;
+        return cursor_;
+    }
+
+    /// Move the cursor one member forward.
+    void advance() {
+        if (cursorValid_) cursor_ = nodes_.at(cursor_).next;
+    }
+
+    /// Visit up to `limit` members starting at the cursor, in ring order,
+    /// without moving the cursor.
+    template <typename F>
+    void visit(size_t limit, F&& fn) const {
+        if (!cursorValid_) return;
+        Id id = cursor_;
+        for (size_t i = 0; i < limit && i < nodes_.size(); i++) {
+            fn(id);
+            id = nodes_.at(id).next;
+        }
+    }
+
+private:
+    struct Node {
+        Id prev;
+        Id next;
+    };
+    std::unordered_map<Id, Node> nodes_;
+    Id cursor_{};
+    bool cursorValid_ = false;
+};
+
+}  // namespace homa

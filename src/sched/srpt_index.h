@@ -1,0 +1,72 @@
+// Incremental SRPT ordering: the shared core of every "pick the message
+// with the fewest remaining bytes" loop in this repository.
+//
+// An ordered set of (key, id) plus an id -> key map. All mutations are
+// O(log n); key updates reuse the tree node (C++17 node extraction), so the
+// steady state allocates only when a message first enters the index.
+// Ties break on id, which is monotone per run, keeping order deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace homa {
+
+template <typename Id>
+class SrptIndex {
+public:
+    using Key = std::pair<int64_t, Id>;
+
+    /// Insert or re-key `id`. Returns true if it was newly inserted.
+    bool upsert(Id id, int64_t key) {
+        auto [it, fresh] = keys_.try_emplace(id, key);
+        if (fresh) {
+            order_.emplace(key, id);
+            return true;
+        }
+        if (it->second != key) {
+            auto node = order_.extract(Key{it->second, id});
+            node.value() = Key{key, id};
+            order_.insert(std::move(node));
+            it->second = key;
+        }
+        return false;
+    }
+
+    bool erase(Id id) {
+        auto it = keys_.find(id);
+        if (it == keys_.end()) return false;
+        order_.erase(Key{it->second, id});
+        keys_.erase(it);
+        return true;
+    }
+
+    bool contains(Id id) const { return keys_.count(id) != 0; }
+    size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+
+    /// Smallest-key entry, or nullopt when empty.
+    std::optional<Id> best() const {
+        if (order_.empty()) return std::nullopt;
+        return order_.begin()->second;
+    }
+
+    /// Visit entries in ascending key order until `fn` returns false or the
+    /// index is exhausted. Used for bounded top-k walks (k = overcommit
+    /// degree), so a call costs O(log n + k).
+    template <typename F>
+    void visitInOrder(F&& fn) const {
+        for (const auto& [key, id] : order_) {
+            if (!fn(id, key)) return;
+        }
+    }
+
+private:
+    std::set<Key> order_;
+    std::unordered_map<Id, int64_t> keys_;
+};
+
+}  // namespace homa

@@ -1,23 +1,94 @@
 #include "sim/event_loop.h"
 
-#include <utility>
+#include <algorithm>
+#include <functional>
 
 namespace homa {
 
-void EventLoop::at(Time t, Callback fn) {
-    if (t < now_) t = now_;
-    heap_.push(Event{t, nextSeq_++, std::move(fn)});
+// Note: std::push_heap et al. with std::greater<> (via HeapEntry's
+// operator>) maintain the min-(time, seq) heap the calendar needs, with
+// heap_.front() the earliest event.
+
+EventLoop::~EventLoop() {
+    for (Slot& s : slots_) {
+        if (s.ops != nullptr) s.ops->destroy(s.storage);
+    }
+}
+
+uint32_t EventLoop::allocSlot() {
+    if (freeHead_ != EventHandle::kNone) {
+        const uint32_t idx = freeHead_;
+        freeHead_ = slots_[idx].nextFree;
+        return idx;
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::freeSlot(uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.ops = nullptr;
+    s.gen++;  // invalidates outstanding handles and ghost heap entries
+    s.nextFree = freeHead_;
+    freeHead_ = idx;
+}
+
+void EventLoop::heapPush(HeapEntry e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+EventLoop::HeapEntry EventLoop::heapPop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    return e;
+}
+
+void EventLoop::compactHeap() {
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+        return slots_[e.slot].gen != e.gen;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+    ghosts_ = 0;
+}
+
+bool EventLoop::cancel(EventHandle h) {
+    if (!pending(h)) return false;
+    Slot& s = slots_[h.slot];
+    s.ops->destroy(s.storage);
+    freeSlot(h.slot);
+    live_--;
+    ghosts_++;
+    // Keep cancel/re-arm churn (timers) from growing the heap without
+    // bound: once ghosts dominate, one O(n) sweep reclaims them all.
+    if (ghosts_ > 64 && ghosts_ > live_) compactHeap();
+    return true;
+}
+
+void EventLoop::dropGhosts() {
+    while (!heap_.empty()) {
+        const HeapEntry& e = heap_.front();
+        if (slots_[e.slot].gen == e.gen) return;
+        heapPop();
+        if (ghosts_ > 0) ghosts_--;
+    }
 }
 
 bool EventLoop::runOne() {
+    dropGhosts();
     if (heap_.empty()) return false;
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately and never touch the moved-from element.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.time;
+    const HeapEntry e = heapPop();
+    now_ = e.time;
     executed_++;
-    ev.fn();
+    live_--;
+    // Evacuate the callable onto the stack and recycle its slot *before*
+    // invoking: the callable may schedule events, growing the slab.
+    alignas(alignof(std::max_align_t)) unsigned char buf[kInlineBytes];
+    const Ops* ops = slots_[e.slot].ops;
+    ops->relocate(buf, slots_[e.slot].storage);
+    freeSlot(e.slot);
+    ops->invoke(buf);
     return true;
 }
 
@@ -28,20 +99,12 @@ uint64_t EventLoop::run(uint64_t limit) {
 }
 
 void EventLoop::runUntil(Time t) {
-    while (!heap_.empty() && heap_.top().time <= t) runOne();
+    for (;;) {
+        dropGhosts();
+        if (heap_.empty() || heap_.front().time > t) break;
+        runOne();
+    }
     if (now_ < t) now_ = t;
-}
-
-void Timer::schedule(Duration d) {
-    state_->generation++;
-    const uint64_t expected = state_->generation;
-    armed_ = true;
-    deadline_ = loop_.now() + d;
-    loop_.after(d, [this, state = state_, expected] {
-        if (state->generation != expected) return;  // cancelled or re-armed
-        armed_ = false;
-        fn_();
-    });
 }
 
 }  // namespace homa

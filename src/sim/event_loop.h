@@ -1,14 +1,33 @@
 // Discrete-event execution core.
 //
-// A binary-heap calendar of (time, sequence) ordered callbacks. Sequence
-// numbers break ties so that two events scheduled for the same instant run
-// in scheduling order, which keeps runs deterministic.
+// A binary-heap calendar of (time, sequence) ordered events. The heap holds
+// small POD entries; the callables live in a slab of fixed-size slots that
+// are recycled through a freelist, so steady-state scheduling performs no
+// heap allocation (callables larger than a slot fall back to one boxed
+// allocation each; everything in the hot paths fits inline).
+//
+// Ordering contract: events fire in (time, scheduling order). Scheduling an
+// event in the past (t < now()) clamps it to now() *at scheduling time*, so
+// it joins the back of the current instant's FIFO — clamping never reorders
+// events that execute at the same instant relative to their scheduling
+// order, and never preempts an event already pending at now().
+//
+// Cancellation is by handle: at()/after() return an EventHandle that
+// cancel() invalidates in O(1). The heap entry becomes a ghost that is
+// discarded lazily when it reaches the top; its slot is recycled
+// immediately (a generation counter makes stale handles and ghost heap
+// entries detectable). When ghosts outnumber live events the heap is
+// compacted in one pass, so pathological cancel/re-arm churn (timers) stays
+// O(log n) amortized with bounded memory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -19,14 +38,59 @@ class EventLoop {
 public:
     using Callback = std::function<void()>;
 
+    /// Identifies a scheduled event for cancellation. Default-constructed
+    /// handles are empty; handles become stale (harmless) once the event
+    /// runs or is cancelled.
+    struct EventHandle {
+        uint32_t slot = kNone;
+        uint32_t gen = 0;
+        explicit operator bool() const { return slot != kNone; }
+        static constexpr uint32_t kNone = UINT32_MAX;
+    };
+
+    EventLoop() = default;
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+    ~EventLoop();
+
     /// Current simulated time.
     Time now() const { return now_; }
 
-    /// Schedule `fn` to run at absolute time `t` (clamped to now()).
-    void at(Time t, Callback fn);
+    /// Schedule `fn` to run at absolute time `t` (clamped to now(); see the
+    /// ordering contract above).
+    template <typename F>
+    EventHandle at(Time t, F&& fn) {
+        if (t < now_) t = now_;
+        const uint32_t idx = allocSlot();
+        Slot& s = slots_[idx];
+        using D = std::decay_t<F>;
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void*>(s.storage)) D(std::forward<F>(fn));
+            s.ops = &InlineOps<D>::ops;
+        } else {
+            ::new (static_cast<void*>(s.storage)) D*(new D(std::forward<F>(fn)));
+            s.ops = &BoxedOps<D>::ops;
+        }
+        heapPush(HeapEntry{t, nextSeq_++, idx, s.gen});
+        live_++;
+        return EventHandle{idx, s.gen};
+    }
 
     /// Schedule `fn` to run `d` after now().
-    void after(Duration d, Callback fn) { at(now_ + d, std::move(fn)); }
+    template <typename F>
+    EventHandle after(Duration d, F&& fn) {
+        return at(now_ + d, std::forward<F>(fn));
+    }
+
+    /// Cancel a pending event. Returns true if it was still pending (it
+    /// will not run); false for empty, stale, or already-run handles.
+    bool cancel(EventHandle h);
+
+    /// True while the referenced event is still pending.
+    bool pending(EventHandle h) const {
+        return h.slot < slots_.size() && slots_[h.slot].gen == h.gen &&
+               slots_[h.slot].ops != nullptr;
+    }
 
     /// Run the earliest pending event; returns false if none are pending.
     bool runOne();
@@ -38,58 +102,139 @@ public:
     /// Run all events with time <= t, then advance the clock to t.
     void runUntil(Time t);
 
-    size_t pendingEvents() const { return heap_.size(); }
+    /// Pending (live, uncancelled) events.
+    size_t pendingEvents() const { return live_; }
     uint64_t executedEvents() const { return executed_; }
 
+    /// Capacity counters, exposed for tests and the substrate bench.
+    size_t slabSlots() const { return slots_.size(); }
+
 private:
-    struct Event {
+    // Per-callable-type operation table. `relocate` move-constructs into
+    // dst and destroys src, letting runOne() evacuate the callable onto the
+    // stack before invoking it (the callable may grow the slab).
+    struct Ops {
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*invoke)(void* p);           // call, then destroy
+        void (*destroy)(void* p) noexcept; // destroy without calling
+    };
+
+    static constexpr size_t kInlineBytes = 48;
+
+    template <typename D>
+    static constexpr bool fitsInline() {
+        return sizeof(D) <= kInlineBytes &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    struct InlineOps {
+        static void relocate(void* dst, void* src) noexcept {
+            D* s = static_cast<D*>(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        }
+        static void invoke(void* p) {
+            D* f = static_cast<D*>(p);
+            (*f)();
+            f->~D();
+        }
+        static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
+        static constexpr Ops ops{&relocate, &invoke, &destroy};
+    };
+
+    template <typename D>
+    struct BoxedOps {  // storage holds a D*
+        static void relocate(void* dst, void* src) noexcept {
+            std::memcpy(dst, src, sizeof(D*));
+        }
+        static void invoke(void* p) {
+            D* f;
+            std::memcpy(&f, p, sizeof(D*));
+            (*f)();
+            delete f;
+        }
+        static void destroy(void* p) noexcept {
+            D* f;
+            std::memcpy(&f, p, sizeof(D*));
+            delete f;
+        }
+        static constexpr Ops ops{&relocate, &invoke, &destroy};
+    };
+
+    struct Slot {
+        alignas(alignof(std::max_align_t)) unsigned char storage[kInlineBytes];
+        const Ops* ops = nullptr;  // nullptr = free
+        uint32_t gen = 0;
+        uint32_t nextFree = EventHandle::kNone;
+    };
+
+    struct HeapEntry {
         Time time;
         uint64_t seq;
-        Callback fn;
-        bool operator>(const Event& o) const {
+        uint32_t slot;
+        uint32_t gen;
+        bool operator>(const HeapEntry& o) const {
             return time != o.time ? time > o.time : seq > o.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    uint32_t allocSlot();
+    void freeSlot(uint32_t idx);
+    /// Pop cancelled ghosts off the heap top.
+    void dropGhosts();
+    /// Rebuild the heap without ghost entries.
+    void compactHeap();
+    void heapPush(HeapEntry e);
+    HeapEntry heapPop();
+
+    // Min-heap over (time, seq), maintained with the std heap algorithms so
+    // it can be compacted in place.
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    uint32_t freeHead_ = EventHandle::kNone;
+    size_t live_ = 0;
+    size_t ghosts_ = 0;
     Time now_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t executed_ = 0;
 };
 
-/// A cancellable, re-armable one-shot timer built on EventLoop.
-///
-/// Cancellation is by generation counter: stale heap entries fire but see a
-/// newer generation and do nothing. This keeps EventLoop's heap simple.
+/// A cancellable, re-armable one-shot timer built on EventLoop handles.
+/// Each (re)arming costs one slab slot; the callback closure captures only
+/// `this`, so arming never allocates.
 class Timer {
 public:
     Timer(EventLoop& loop, std::function<void()> fn)
-        : loop_(loop), fn_(std::move(fn)), state_(std::make_shared<State>()) {}
+        : loop_(loop), fn_(std::move(fn)) {}
 
     ~Timer() { cancel(); }
     Timer(const Timer&) = delete;
     Timer& operator=(const Timer&) = delete;
 
     /// (Re)arm the timer to fire `d` from now; cancels any prior arming.
-    void schedule(Duration d);
-
-    void cancel() {
-        state_->generation++;
-        armed_ = false;
+    void schedule(Duration d) {
+        loop_.cancel(handle_);
+        deadline_ = loop_.now() + d;
+        handle_ = loop_.at(deadline_, [this] {
+            handle_ = EventLoop::EventHandle{};
+            fn_();
+        });
     }
 
-    bool armed() const { return armed_; }
+    void cancel() {
+        loop_.cancel(handle_);
+        handle_ = EventLoop::EventHandle{};
+    }
+
+    bool armed() const { return static_cast<bool>(handle_); }
     Time deadline() const { return deadline_; }
 
 private:
-    struct State {
-        uint64_t generation = 0;
-    };
-
     EventLoop& loop_;
     std::function<void()> fn_;
-    std::shared_ptr<State> state_;
-    bool armed_ = false;
+    EventLoop::EventHandle handle_;
     Time deadline_ = 0;
 };
 

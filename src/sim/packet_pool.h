@@ -1,0 +1,98 @@
+// Packet slab + freelist, and the index ring that queues them.
+//
+// The simulator used to move Packets by value through per-qdisc
+// std::deques, paying deque chunk allocation and ~140-byte element copies
+// per hop. Queues now hold 4-byte handles into a PacketPool whose slots are
+// recycled through a freelist: steady-state enqueue/dequeue allocates
+// nothing, and the hot data stays in two tight arrays.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/packet.h"
+
+namespace homa {
+
+class PacketPool {
+public:
+    using Handle = uint32_t;
+    static constexpr Handle kNone = UINT32_MAX;
+
+    /// Copy `p` into a recycled (or new) slot.
+    Handle acquire(const Packet& p) {
+        if (freeHead_ != kNone) {
+            const Handle h = freeHead_;
+            freeHead_ = nextFree_[h];
+            slots_[h] = p;
+            return h;
+        }
+        slots_.push_back(p);
+        nextFree_.push_back(kNone);
+        return static_cast<Handle>(slots_.size() - 1);
+    }
+
+    /// Move the packet out and recycle its slot.
+    Packet release(Handle h) {
+        Packet p = std::move(slots_[h]);
+        nextFree_[h] = freeHead_;
+        freeHead_ = h;
+        return p;
+    }
+
+    Packet& at(Handle h) { return slots_[h]; }
+    const Packet& at(Handle h) const { return slots_[h]; }
+
+    size_t capacity() const { return slots_.size(); }
+
+private:
+    std::vector<Packet> slots_;
+    std::vector<Handle> nextFree_;
+    Handle freeHead_ = kNone;
+};
+
+/// FIFO of pool handles on a power-of-two ring buffer; grows on demand and
+/// never shrinks, so a warmed-up queue performs no allocation.
+class IndexRing {
+public:
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+    void push_back(PacketPool::Handle h) {
+        if (count_ == buf_.size()) grow();
+        buf_[(head_ + count_) & (buf_.size() - 1)] = h;
+        count_++;
+    }
+
+    PacketPool::Handle front() const {
+        assert(count_ > 0);
+        return buf_[head_];
+    }
+
+    PacketPool::Handle pop_front() {
+        assert(count_ > 0);
+        const PacketPool::Handle h = buf_[head_];
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        count_--;
+        return h;
+    }
+
+private:
+    void grow() {
+        const size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<PacketPool::Handle> next(cap);
+        for (size_t i = 0; i < count_; i++) {
+            next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        }
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<PacketPool::Handle> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+}  // namespace homa

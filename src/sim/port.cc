@@ -72,8 +72,8 @@ void EgressPort::startTransmission(Packet p) {
     stats_.bytesByPriority[p.priority] += wire;
 
     // The packet lives in txPacket_ rather than the closure: keeping the
-    // capture pointer-sized lets std::function use its small-buffer
-    // optimization, which matters at tens of millions of events per run.
+    // capture pointer-sized keeps the event inside the EventLoop's inline
+    // slab slot, which matters at tens of millions of events per run.
     txPacket_ = std::move(p);
     loop_.at(txEndsAt_, [this] {
         busy_ = false;

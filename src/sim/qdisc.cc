@@ -36,7 +36,7 @@ bool StrictPriorityQdisc::enqueue(Packet& p) {
             return false;
         }
     }
-    queues_[p.priority].push_back(p);
+    queues_[p.priority].push_back(pool_.acquire(p));
     bytes_ += bufferBytes(p);
     packets_++;
     stats_.enqueued++;
@@ -47,8 +47,7 @@ std::optional<Packet> StrictPriorityQdisc::dequeue() {
     for (int prio = kHighestPriority; prio >= 0; prio--) {
         auto& q = queues_[prio];
         if (q.empty()) continue;
-        Packet p = q.front();
-        q.pop_front();
+        Packet p = pool_.release(q.pop_front());
         bytes_ -= bufferBytes(p);
         packets_--;
         return p;
@@ -65,7 +64,7 @@ int StrictPriorityQdisc::headPriority() const {
 
 bool PFabricQdisc::enqueue(Packet& p) {
     if (p.isControl()) {
-        control_.push_back(p);
+        control_.push_back(slab_.acquire(p));
         bytes_ += bufferBytes(p);
         stats_.enqueued++;
         return true;
@@ -73,21 +72,25 @@ bool PFabricQdisc::enqueue(Packet& p) {
     if (bytes_ + bufferBytes(p) > opts_.capBytes) {
         // Drop the lowest-priority packet in the pool (largest remaining);
         // if the incoming packet is the worst, drop it instead.
-        auto worst = std::max_element(
-            pool_.begin(), pool_.end(),
-            [](const Packet& a, const Packet& b) { return a.remaining < b.remaining; });
-        if (worst == pool_.end() || worst->remaining <= p.remaining) {
+        auto worstOf = [this]() {
+            return std::max_element(data_.begin(), data_.end(),
+                                    [this](PacketPool::Handle a,
+                                           PacketPool::Handle b) {
+                                        return slab_.at(a).remaining <
+                                               slab_.at(b).remaining;
+                                    });
+        };
+        auto worst = worstOf();
+        if (worst == data_.end() || slab_.at(*worst).remaining <= p.remaining) {
             stats_.dropped++;
             return false;
         }
-        while (bytes_ + bufferBytes(p) > opts_.capBytes && !pool_.empty()) {
-            worst = std::max_element(pool_.begin(), pool_.end(),
-                                     [](const Packet& a, const Packet& b) {
-                                         return a.remaining < b.remaining;
-                                     });
-            if (worst->remaining <= p.remaining) break;
-            bytes_ -= bufferBytes(*worst);
-            pool_.erase(worst);
+        while (bytes_ + bufferBytes(p) > opts_.capBytes && !data_.empty()) {
+            worst = worstOf();
+            if (slab_.at(*worst).remaining <= p.remaining) break;
+            bytes_ -= bufferBytes(slab_.at(*worst));
+            slab_.release(*worst);
+            data_.erase(worst);
             stats_.dropped++;
         }
         if (bytes_ + bufferBytes(p) > opts_.capBytes) {
@@ -95,7 +98,7 @@ bool PFabricQdisc::enqueue(Packet& p) {
             return false;
         }
     }
-    pool_.push_back(p);
+    data_.push_back(slab_.acquire(p));
     bytes_ += bufferBytes(p);
     stats_.enqueued++;
     return true;
@@ -103,26 +106,29 @@ bool PFabricQdisc::enqueue(Packet& p) {
 
 std::optional<Packet> PFabricQdisc::dequeue() {
     if (!control_.empty()) {
-        Packet p = control_.front();
-        control_.pop_front();
+        Packet p = slab_.release(control_.pop_front());
         bytes_ -= bufferBytes(p);
         return p;
     }
-    if (pool_.empty()) return std::nullopt;
+    if (data_.empty()) return std::nullopt;
     // Message with fewest remaining bytes wins; within it, earliest offset
     // first so the receiver can make contiguous progress.
-    auto best = std::min_element(pool_.begin(), pool_.end(),
-                                 [](const Packet& a, const Packet& b) {
-                                     return a.remaining < b.remaining;
-                                 });
-    MsgId msg = best->msg;
-    auto earliest = pool_.end();
-    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
-        if (it->msg != msg) continue;
-        if (earliest == pool_.end() || it->offset < earliest->offset) earliest = it;
+    auto best = std::min_element(
+        data_.begin(), data_.end(),
+        [this](PacketPool::Handle a, PacketPool::Handle b) {
+            return slab_.at(a).remaining < slab_.at(b).remaining;
+        });
+    const MsgId msg = slab_.at(*best).msg;
+    auto earliest = data_.end();
+    for (auto it = data_.begin(); it != data_.end(); ++it) {
+        if (slab_.at(*it).msg != msg) continue;
+        if (earliest == data_.end() ||
+            slab_.at(*it).offset < slab_.at(*earliest).offset) {
+            earliest = it;
+        }
     }
-    Packet p = *earliest;
-    pool_.erase(earliest);
+    Packet p = slab_.release(*earliest);
+    data_.erase(earliest);
     bytes_ -= bufferBytes(p);
     return p;
 }

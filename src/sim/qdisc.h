@@ -12,11 +12,12 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 
 namespace homa {
 
@@ -75,7 +76,10 @@ public:
 
 private:
     StrictPriorityOptions opts_;
-    std::array<std::deque<Packet>, kPriorityLevels> queues_;
+    // Queued packets live in a recycled slab; the per-level FIFOs hold
+    // 4-byte handles (see packet_pool.h).
+    PacketPool pool_;
+    std::array<IndexRing, kPriorityLevels> queues_;
     int64_t bytes_ = 0;
     size_t packets_ = 0;
 };
@@ -92,12 +96,13 @@ public:
     bool enqueue(Packet& p) override;
     std::optional<Packet> dequeue() override;
     int64_t queuedBytes() const override { return bytes_; }
-    size_t queuedPackets() const override { return pool_.size() + control_.size(); }
+    size_t queuedPackets() const override { return data_.size() + control_.size(); }
 
 private:
     PFabricOptions opts_;
-    std::deque<Packet> control_;  // ACKs etc., served first
-    std::deque<Packet> pool_;     // data, scanned (queues are small)
+    PacketPool slab_;
+    IndexRing control_;                        // ACKs etc., served first
+    std::vector<PacketPool::Handle> data_;     // scanned (queues are small)
     int64_t bytes_ = 0;
 };
 

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "sim/event_loop.h"
 
 namespace homa {
@@ -89,6 +94,133 @@ TEST(EventLoop, CountsExecutedEvents) {
     for (int i = 0; i < 7; i++) loop.at(i, [] {});
     loop.run();
     EXPECT_EQ(loop.executedEvents(), 7u);
+}
+
+TEST(EventLoopClamp, PastEventJoinsBackOfCurrentInstantFifo) {
+    // Clamping t < now() must not reorder same-instant events: the clamped
+    // event joins the back of the current instant's queue, behind events
+    // already scheduled for now(), in scheduling order.
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(100, [&] {
+        loop.at(100, [&] { order.push_back(1); });  // same instant, first
+        loop.at(10, [&] { order.push_back(2); });   // past: clamped to 100
+        loop.at(50, [&] { order.push_back(3); });   // past: clamped to 100
+    });
+    loop.run();
+    EXPECT_EQ(loop.now(), 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopClamp, ClampedEventsPreserveMutualFifo) {
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(200, [&] {
+        // All in the past, in "wrong" time order: scheduling order rules.
+        loop.at(30, [&] { order.push_back(1); });
+        loop.at(20, [&] { order.push_back(2); });
+        loop.at(10, [&] { order.push_back(3); });
+    });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopClamp, ClampAfterRunUntilAdvancedClock) {
+    EventLoop loop;
+    loop.runUntil(1000);  // no events; clock moved forward
+    Time fired = -1;
+    loop.at(5, [&] { fired = loop.now(); });  // far in the past
+    loop.run();
+    EXPECT_EQ(fired, 1000);
+}
+
+TEST(EventLoopCancel, CancelledEventNeverRuns) {
+    EventLoop loop;
+    int fired = 0;
+    auto h = loop.at(10, [&] { fired++; });
+    EXPECT_TRUE(loop.pending(h));
+    EXPECT_TRUE(loop.cancel(h));
+    EXPECT_FALSE(loop.pending(h));
+    EXPECT_FALSE(loop.cancel(h));  // second cancel is a stale no-op
+    loop.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(loop.executedEvents(), 0u);
+}
+
+TEST(EventLoopCancel, PendingCountExcludesCancelled) {
+    EventLoop loop;
+    auto h1 = loop.at(10, [] {});
+    loop.at(20, [] {});
+    EXPECT_EQ(loop.pendingEvents(), 2u);
+    loop.cancel(h1);
+    EXPECT_EQ(loop.pendingEvents(), 1u);
+    EXPECT_EQ(loop.run(), 1u);
+}
+
+TEST(EventLoopCancel, StaleHandleAfterExecutionIsHarmless) {
+    EventLoop loop;
+    auto h = loop.at(10, [] {});
+    loop.run();
+    EXPECT_FALSE(loop.pending(h));
+    EXPECT_FALSE(loop.cancel(h));
+}
+
+TEST(EventLoopCancel, SlotReuseInvalidatesOldHandles) {
+    EventLoop loop;
+    auto h1 = loop.at(10, [] {});
+    loop.cancel(h1);
+    int fired = 0;
+    loop.at(20, [&] { fired++; });  // recycles h1's slot, new generation
+    EXPECT_FALSE(loop.cancel(h1)) << "old handle must not cancel new event";
+    loop.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopCancel, RunUntilSkipsCancelledGhosts) {
+    EventLoop loop;
+    auto h = loop.at(10, [] {});
+    loop.at(50, [] {});
+    loop.cancel(h);
+    loop.runUntil(30);  // the ghost at t=10 must not stall or execute
+    EXPECT_EQ(loop.now(), 30);
+    EXPECT_EQ(loop.executedEvents(), 0u);
+    EXPECT_EQ(loop.pendingEvents(), 1u);
+}
+
+TEST(EventLoopSlab, SlotsAreRecycledAcrossEvents) {
+    EventLoop loop;
+    std::function<void(int)> chain = [&](int depth) {
+        if (depth > 0) loop.after(1, [&, depth] { chain(depth - 1); });
+    };
+    chain(10000);
+    loop.run();
+    EXPECT_EQ(loop.executedEvents(), 10000u);
+    // One event pending at a time: the slab never grows past a handful.
+    EXPECT_LE(loop.slabSlots(), 4u);
+}
+
+TEST(EventLoopSlab, LargeCallablesAreBoxedCorrectly) {
+    EventLoop loop;
+    std::array<int64_t, 16> payload{};  // 128 bytes: exceeds inline storage
+    for (size_t i = 0; i < payload.size(); i++) payload[i] = static_cast<int64_t>(i);
+    int64_t sum = 0;
+    loop.at(1, [payload, &sum] {
+        for (int64_t v : payload) sum += v;
+    });
+    loop.run();
+    EXPECT_EQ(sum, 120);
+}
+
+TEST(EventLoopSlab, DestructorReleasesPendingCallables) {
+    auto marker = std::make_shared<int>(7);
+    std::weak_ptr<int> weak = marker;
+    {
+        EventLoop loop;
+        loop.at(10, [marker] { (void)*marker; });
+        marker.reset();
+        EXPECT_FALSE(weak.expired());
+    }
+    EXPECT_TRUE(weak.expired()) << "pending closure destroyed with the loop";
 }
 
 TEST(Timer, FiresAfterDelay) {

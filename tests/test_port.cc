@@ -2,6 +2,8 @@
 // preemption-lag/queueing-delay decomposition.
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "sim/port.h"
 
 namespace homa {

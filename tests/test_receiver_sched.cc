@@ -1,0 +1,239 @@
+// Receiver-side loss recovery and overcommitment accounting (§3.5, §3.7,
+// Figure 16): timeout/RESEND/abort progressions, BUSY handling, and the
+// hasWithheldWork() probe under the pluggable grant scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/homa_transport.h"
+#include "workload/workloads.h"
+
+namespace homa {
+namespace {
+
+constexpr int64_t kRtt = 9640;
+
+class MockHost : public HostServices {
+public:
+    EventLoop& loop() override { return loop_; }
+    HostId id() const override { return 0; }
+    void pushPacket(Packet p) override {
+        p.src = 0;
+        pushed.push_back(p);
+    }
+    void kickNic() override {}
+    Rng& rng() override { return rng_; }
+
+    int countType(PacketType t) const {
+        return static_cast<int>(
+            std::count_if(pushed.begin(), pushed.end(),
+                          [t](const Packet& p) { return p.type == t; }));
+    }
+
+    EventLoop loop_;
+    Rng rng_{1};
+    std::vector<Packet> pushed;
+};
+
+struct Harness {
+    MockHost host;
+    PriorityAllocation alloc;
+    std::unique_ptr<HomaTransport> transport;
+
+    explicit Harness(HomaConfig cfg = fastTimeoutConfig()) {
+        alloc = computeAllocation(workload(WorkloadId::W3), cfg, kRtt);
+        transport = std::make_unique<HomaTransport>(host, cfg, kRtt, &alloc);
+    }
+
+    static HomaConfig fastTimeoutConfig() {
+        HomaConfig cfg;
+        cfg.resendTimeout = microseconds(100);  // compress the test timeline
+        return cfg;
+    }
+
+    void rxData(MsgId id, uint32_t msgLen, uint32_t offset, uint32_t len,
+                HostId src = 1) {
+        Packet p;
+        p.type = PacketType::Data;
+        p.src = src;
+        p.dst = 0;
+        p.msg = id;
+        p.created = host.loop_.now();
+        p.offset = offset;
+        p.length = len;
+        p.messageLength = msgLen;
+        transport->handlePacket(p);
+    }
+
+    void rxBusy(MsgId id, HostId src = 1) {
+        Packet p;
+        p.type = PacketType::Busy;
+        p.src = src;
+        p.dst = 0;
+        p.msg = id;
+        transport->handlePacket(p);
+    }
+
+    HomaReceiver& rx() { return transport->receiver(); }
+};
+
+TEST(ReceiverLoss, ResendTargetsFirstGapClippedToGrant) {
+    Harness h;
+    // Bytes [0,1442) and [2884,4326) arrive; [1442,2884) is the gap.
+    h.rxData(1, 200000, 0, 1442);
+    h.rxData(1, 200000, 2884, 1442);
+    h.host.pushed.clear();
+    h.host.loop_.runUntil(microseconds(300));
+    ASSERT_GE(h.rx().resendsSent(), 1u);
+    bool sawResend = false;
+    for (const auto& p : h.host.pushed) {
+        if (p.type != PacketType::Resend) continue;
+        sawResend = true;
+        EXPECT_EQ(p.offset, 1442u);
+        EXPECT_LE(p.offset + p.length, static_cast<uint32_t>(kRtt) + 1442u)
+            << "RESEND must never authorize ungranted bytes";
+    }
+    EXPECT_TRUE(sawResend);
+}
+
+TEST(ReceiverLoss, AbortsAfterMaxResendsOfSilence) {
+    Harness h;
+    h.rxData(1, 200000, 0, 1442);  // then total silence
+    EXPECT_EQ(h.rx().incompleteMessages(), 1u);
+    // Patience doubles per resend (100us * 2^k): 5 resends and the final
+    // abort all land well within 15 ms.
+    h.host.loop_.runUntil(milliseconds(15));
+    EXPECT_EQ(h.rx().resendsSent(), 5u);
+    EXPECT_EQ(h.rx().abortedMessages(), 1u);
+    EXPECT_EQ(h.rx().incompleteMessages(), 0u);
+}
+
+TEST(ReceiverLoss, BusyResetsTheResendClock) {
+    Harness h;
+    h.rxData(1, 200000, 0, 1442);
+    h.host.loop_.runUntil(milliseconds(15));
+    ASSERT_EQ(h.rx().abortedMessages(), 1u);  // control: silence aborts
+
+    // Same silence, but the sender answers BUSY periodically: the message
+    // must survive indefinitely (Figure 3's starvation case).
+    h.rxData(2, 200000, 0, 1442);
+    for (int i = 0; i < 100; i++) {
+        h.host.loop_.runUntil(h.host.loop_.now() + microseconds(150));
+        h.rxBusy(2);
+    }
+    EXPECT_EQ(h.rx().abortedMessages(), 1u) << "BUSY keeps the message alive";
+    EXPECT_EQ(h.rx().incompleteMessages(), 1u);
+}
+
+TEST(ReceiverLoss, WithheldMessageIsNeverResentOrAborted) {
+    HomaConfig cfg = Harness::fastTimeoutConfig();
+    cfg.overcommitDegree = 2;
+    Harness h(cfg);
+    // Three long messages; the largest is withheld. Deliver its entire
+    // unscheduled region so nothing granted is outstanding for it.
+    h.rxData(1, 200000, 0, 1442, 1);
+    h.rxData(2, 300000, 0, 1442, 2);
+    for (int64_t off = 0; off < kRtt; off += 1442) {
+        h.rxData(3, 800000, static_cast<uint32_t>(off),
+                 static_cast<uint32_t>(std::min<int64_t>(1442, kRtt - off)), 3);
+    }
+    ASSERT_TRUE(h.rx().hasWithheldWork());
+    h.host.pushed.clear();
+    h.host.loop_.runUntil(milliseconds(30));
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Resend) {
+            EXPECT_NE(p.msg, 3u) << "withheld message must stay silent";
+        }
+    }
+    // The granted-but-silent messages abort; the withheld one survives.
+    EXPECT_EQ(h.rx().abortedMessages(), 2u);
+    EXPECT_EQ(h.rx().incompleteMessages(), 1u);
+}
+
+TEST(ReceiverWithheld, CountsMessagesBeyondOvercommitDegree) {
+    HomaConfig cfg = Harness::fastTimeoutConfig();
+    cfg.overcommitDegree = 2;
+    Harness h(cfg);
+    for (MsgId id = 1; id <= 5; id++) {
+        h.rxData(id, 100000 + static_cast<uint32_t>(id) * 1000, 0, 1442,
+                 static_cast<HostId>(id));
+    }
+    EXPECT_TRUE(h.rx().hasWithheldWork());
+    EXPECT_EQ(h.rx().scheduler().withheld(), 3);
+}
+
+TEST(ReceiverWithheld, CompletionUnblocksWithheldMessage) {
+    HomaConfig cfg = Harness::fastTimeoutConfig();
+    cfg.overcommitDegree = 2;
+    Harness h(cfg);
+    const uint32_t shortLen = 20000;
+    h.rxData(1, shortLen, 0, 1442, 1);
+    h.rxData(2, 100000, 0, 1442, 2);
+    h.rxData(3, 200000, 0, 1442, 3);
+    ASSERT_EQ(h.rx().scheduler().withheld(), 1);
+    h.host.pushed.clear();
+    // Complete message 1; its slot must pass to message 3.
+    for (uint32_t off = 1442; off < shortLen; off += 1442) {
+        h.rxData(1, shortLen, off, std::min<uint32_t>(1442, shortLen - off), 1);
+    }
+    EXPECT_EQ(h.rx().incompleteMessages(), 2u);
+    EXPECT_EQ(h.rx().scheduler().withheld(), 0);
+    bool msg3Granted = false;
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Grant && p.msg == 3) msg3Granted = true;
+    }
+    EXPECT_TRUE(msg3Granted);
+    EXPECT_FALSE(h.rx().hasWithheldWork());
+}
+
+TEST(ReceiverWithheld, FullyGrantedMessagesHoldNoActiveSlot) {
+    HomaConfig cfg = Harness::fastTimeoutConfig();
+    cfg.overcommitDegree = 2;
+    Harness h(cfg);
+    // Two messages shorter than RTTbytes: fully granted at birth, so they
+    // consume no scheduler slots even while incomplete.
+    h.rxData(1, 5000, 0, 1442, 1);
+    h.rxData(2, 5000, 0, 1442, 2);
+    // Two long messages must BOTH be schedulable despite degree 2.
+    h.rxData(3, 200000, 0, 1442, 3);
+    h.rxData(4, 300000, 0, 1442, 4);
+    EXPECT_EQ(h.rx().incompleteMessages(), 4u);
+    EXPECT_FALSE(h.rx().hasWithheldWork());
+    int grants3 = 0, grants4 = 0;
+    for (const auto& p : h.host.pushed) {
+        if (p.type != PacketType::Grant) continue;
+        if (p.msg == 3) grants3++;
+        if (p.msg == 4) grants4++;
+    }
+    EXPECT_GT(grants3, 0);
+    EXPECT_GT(grants4, 0);
+}
+
+TEST(ReceiverWithheld, AbortFreesSlotAtNextDecision) {
+    HomaConfig cfg = Harness::fastTimeoutConfig();
+    cfg.overcommitDegree = 1;
+    Harness h(cfg);
+    h.rxData(1, 200000, 0, 1442, 1);  // active, then silent -> will abort
+    // The withheld message delivers its whole unscheduled region so the
+    // receiver is not expecting anything from it (no spurious abort).
+    for (int64_t off = 0; off < kRtt; off += 1442) {
+        h.rxData(2, 300000, static_cast<uint32_t>(off),
+                 static_cast<uint32_t>(std::min<int64_t>(1442, kRtt - off)), 2);
+    }
+    ASSERT_EQ(h.rx().scheduler().withheld(), 1);
+    h.host.loop_.runUntil(milliseconds(15));
+    ASSERT_EQ(h.rx().abortedMessages(), 1u);
+    h.host.pushed.clear();
+    // Next data arrival triggers a fresh decision granting message 2.
+    h.rxData(2, 300000, static_cast<uint32_t>(kRtt), 1442, 2);
+    bool granted = false;
+    for (const auto& p : h.host.pushed) {
+        if (p.type == PacketType::Grant && p.msg == 2) granted = true;
+    }
+    EXPECT_TRUE(granted);
+    EXPECT_FALSE(h.rx().hasWithheldWork());
+}
+
+}  // namespace
+}  // namespace homa

@@ -1,7 +1,7 @@
 // Tests for the unscheduled priority allocation algorithm (Figure 4).
 #include <gtest/gtest.h>
 
-#include "core/unsched.h"
+#include "sched/priority_allocator.h"
 #include "sim/topology.h"
 #include "workload/workloads.h"
 
