@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "driver/sweep.h"
 #include "stats/report.h"
 
 namespace homa::bench {
@@ -20,6 +21,50 @@ namespace homa::bench {
 inline bool fullScale() {
     const char* env = std::getenv("HOMA_BENCH_SCALE");
     return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+/// Scenario override for the figure benches: HOMA_SCENARIO names a traffic
+/// pattern (uniform|permutation|rack-skew|incast|pareto); pattern knobs
+/// keep their ScenarioConfig defaults. Trace replay needs an explicit
+/// schedule, so it is driven via example_run_experiment --trace instead.
+inline ScenarioConfig scenarioFromEnv() {
+    ScenarioConfig s;
+    const char* env = std::getenv("HOMA_SCENARIO");
+    if (env != nullptr && !patternFromName(env, s.kind)) {
+        std::fprintf(stderr, "HOMA_SCENARIO: unknown pattern '%s'\n", env);
+        std::exit(2);
+    }
+    if (s.kind == TrafficPatternKind::TraceReplay) {
+        std::fprintf(stderr,
+                     "HOMA_SCENARIO=trace needs a schedule; use "
+                     "example_run_experiment --trace FILE\n");
+        std::exit(2);
+    }
+    return s;
+}
+
+/// Sweep thread count for the figure benches: HOMA_SWEEP_THREADS, default
+/// all cores (SweepRunner's results are identical either way).
+inline SweepOptions sweepOptionsFromEnv() {
+    SweepOptions opts;
+    const char* env = std::getenv("HOMA_SWEEP_THREADS");
+    if (env != nullptr) {
+        char* end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || n < 1 || n > 4096) {
+            std::fprintf(stderr,
+                         "HOMA_SWEEP_THREADS: expected a thread count, "
+                         "got '%s'\n", env);
+            std::exit(2);
+        }
+        opts.threads = static_cast<int>(n);
+    }
+    return opts;
+}
+
+inline void printSweepFooter(const SweepOutcome& sweep) {
+    std::printf("sweep: %zu points on %d threads in %.1f s\n\n",
+                sweep.results.size(), sweep.threadsUsed, sweep.wallSeconds);
 }
 
 /// Traffic generation window for one-way simulation experiments.
@@ -43,8 +88,11 @@ inline Duration rpcWindow(WorkloadId wl) {
 inline void printHeader(const std::string& what, const std::string& paperRef) {
     std::printf("%s", banner(what).c_str());
     std::printf("Reproduces: %s\n", paperRef.c_str());
-    std::printf("Scale: %s (set HOMA_BENCH_SCALE=full for paper-scale runs)\n\n",
+    std::printf("Scale: %s (set HOMA_BENCH_SCALE=full for paper-scale runs)\n",
                 fullScale() ? "full" : "quick");
+    const char* scenario = std::getenv("HOMA_SCENARIO");
+    if (scenario != nullptr) std::printf("Scenario: %s\n", scenario);
+    std::printf("\n");
 }
 
 /// Print per-decile slowdown rows for several labelled trackers side by

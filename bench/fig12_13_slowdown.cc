@@ -4,7 +4,9 @@
 //
 // Like the paper, protocols that cannot sustain 80% run at the highest
 // load they support (pHost ~60%, NDP ~70%); the 50% row runs everyone at
-// 50%.
+// 50%. The whole load x workload x protocol grid fans out across cores via
+// SweepRunner (results are identical to the sequential run); HOMA_SCENARIO
+// selects a non-uniform traffic pattern.
 #include "bench_common.h"
 
 using namespace homa;
@@ -29,49 +31,11 @@ std::vector<Entry> entries(WorkloadId wl) {
     return out;
 }
 
-void runAtLoad(double requestedLoad) {
-    for (WorkloadId wl : kAllWorkloads) {
-        const SizeDistribution& dist = workload(wl);
-        std::printf("--- Workload %s, %d%% network load ---\n",
-                    dist.name().c_str(),
-                    static_cast<int>(requestedLoad * 100));
-
-        std::vector<ExperimentResult> results;
-        std::vector<std::string> names;
-        for (const Entry& e : entries(wl)) {
-            ExperimentConfig cfg;
-            cfg.proto.kind = e.kind;
-            cfg.traffic.workload = wl;
-            cfg.traffic.load = std::min(requestedLoad, e.loadCap);
-            cfg.traffic.stop = simWindow();
-            results.push_back(runExperiment(cfg));
-            std::string label = e.name;
-            if (cfg.traffic.load < requestedLoad) {
-                label += "@" + std::to_string(
-                                   static_cast<int>(cfg.traffic.load * 100));
-            }
-            names.push_back(label);
-        }
-
-        std::vector<std::pair<std::string, const SlowdownTracker*>> curves;
-        for (size_t i = 0; i < results.size(); i++) {
-            curves.emplace_back(names[i], results[i].slowdown.get());
-        }
-        std::printf("[Figure 12] 99%% slowdown:\n");
-        printSlowdownTable(dist, curves, /*tail=*/true);
-        std::printf("[Figure 13] median slowdown:\n");
-        printSlowdownTable(dist, curves, /*tail=*/false);
-        for (size_t i = 0; i < results.size(); i++) {
-            std::printf("  %-12s delivered %llu/%llu keptUp=%d drops=%llu\n",
-                        names[i].c_str(),
-                        static_cast<unsigned long long>(results[i].delivered),
-                        static_cast<unsigned long long>(results[i].generated),
-                        static_cast<int>(results[i].keptUp),
-                        static_cast<unsigned long long>(results[i].switchDrops));
-        }
-        std::printf("\n");
-    }
-}
+struct Point {
+    double requestedLoad;
+    WorkloadId wl;
+    std::string label;
+};
 
 }  // namespace
 
@@ -79,8 +43,68 @@ int main() {
     printHeader("Figures 12 & 13: simulation slowdown comparison",
                 "99th-percentile and median one-way slowdown vs message "
                 "size, 144-host fat-tree");
-    runAtLoad(0.8);
-    runAtLoad(0.5);
+
+    const ScenarioConfig scenario = scenarioFromEnv();
+
+    // Build the whole grid up front, then fan it across the thread pool.
+    std::vector<Point> points;
+    std::vector<ExperimentConfig> configs;
+    for (double requestedLoad : {0.8, 0.5}) {
+        for (WorkloadId wl : kAllWorkloads) {
+            for (const Entry& e : entries(wl)) {
+                ExperimentConfig cfg;
+                cfg.proto.kind = e.kind;
+                cfg.traffic.workload = wl;
+                cfg.traffic.load = std::min(requestedLoad, e.loadCap);
+                cfg.traffic.stop = simWindow();
+                cfg.traffic.scenario = scenario;
+                std::string label = e.name;
+                if (cfg.traffic.load < requestedLoad) {
+                    label += '@';
+                    label += std::to_string(
+                        static_cast<int>(cfg.traffic.load * 100));
+                }
+                points.push_back({requestedLoad, wl, std::move(label)});
+                configs.push_back(std::move(cfg));
+            }
+        }
+    }
+    SweepOutcome sweep = SweepRunner(sweepOptionsFromEnv()).run(std::move(configs));
+
+    // Group consecutive points by their stored (load, workload): the
+    // grouping comes from the data, not a mirrored copy of the build loop.
+    for (size_t i = 0; i < points.size();) {
+        const double requestedLoad = points[i].requestedLoad;
+        const WorkloadId wl = points[i].wl;
+        const SizeDistribution& dist = workload(wl);
+        std::printf("--- Workload %s, %d%% network load ---\n",
+                    dist.name().c_str(),
+                    static_cast<int>(requestedLoad * 100));
+
+        const size_t first = i;
+        std::vector<std::pair<std::string, const SlowdownTracker*>> curves;
+        for (; i < points.size() && points[i].requestedLoad == requestedLoad &&
+               points[i].wl == wl;
+             i++) {
+            curves.emplace_back(points[i].label,
+                                sweep.results[i].slowdown.get());
+        }
+        std::printf("[Figure 12] 99%% slowdown:\n");
+        printSlowdownTable(dist, curves, /*tail=*/true);
+        std::printf("[Figure 13] median slowdown:\n");
+        printSlowdownTable(dist, curves, /*tail=*/false);
+        for (size_t j = first; j < i; j++) {
+            const ExperimentResult& r = sweep.results[j];
+            std::printf("  %-12s delivered %llu/%llu keptUp=%d drops=%llu\n",
+                        points[j].label.c_str(),
+                        static_cast<unsigned long long>(r.delivered),
+                        static_cast<unsigned long long>(r.generated),
+                        static_cast<int>(r.keptUp),
+                        static_cast<unsigned long long>(r.switchDrops));
+        }
+        std::printf("\n");
+    }
+    printSweepFooter(sweep);
     std::printf(
         "Expected shape (paper): Homa ~= pFabric and well under pHost/PIAS\n"
         "for small messages (p99 <= ~2.2 for the shortest half of each\n"

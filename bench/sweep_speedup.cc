@@ -1,0 +1,101 @@
+// SweepRunner multi-core speedup evidence -> BENCH_sweep.json.
+//
+// Runs a fixed protocol x workload x scenario sweep twice — once on one
+// thread, once on all cores — verifies the per-point results are
+// byte-identical (the determinism contract that makes the parallel runner
+// trustworthy), and reports the wall-clock speedup as JSON:
+//
+//   ./bench_sweep_speedup [output.json]     (default BENCH_sweep.json)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace homa;
+using namespace homa::bench;
+
+int main(int argc, char** argv) {
+    const std::string outPath = argc > 1 ? argv[1] : "BENCH_sweep.json";
+    printHeader("SweepRunner: multi-core sweep speedup",
+                "parallel figure-bench harness (BENCH_sweep.json)");
+
+    // A representative slice of the figure grids: three protocols, three
+    // workloads, and the three scenario families beyond uniform.
+    std::vector<ExperimentConfig> points;
+    std::vector<std::string> labels;
+    auto add = [&](Protocol proto, WorkloadId wl, TrafficPatternKind pattern) {
+        ExperimentConfig cfg;
+        cfg.proto.kind = proto;
+        cfg.traffic.workload = wl;
+        cfg.traffic.load = 0.7;
+        cfg.traffic.stop = fullScale() ? milliseconds(40) : milliseconds(4);
+        cfg.traffic.scenario.kind = pattern;
+        labels.push_back(std::string(protocolName(proto)) + "/" +
+                         workload(wl).name() + "/" + patternName(pattern));
+        points.push_back(std::move(cfg));
+    };
+    for (Protocol proto : {Protocol::Homa, Protocol::PFabric, Protocol::Pias}) {
+        for (WorkloadId wl : {WorkloadId::W1, WorkloadId::W3, WorkloadId::W4}) {
+            add(proto, wl, TrafficPatternKind::Uniform);
+        }
+    }
+    add(Protocol::Homa, WorkloadId::W3, TrafficPatternKind::Incast);
+    add(Protocol::Homa, WorkloadId::W3, TrafficPatternKind::RackSkew);
+    add(Protocol::Homa, WorkloadId::W3, TrafficPatternKind::Permutation);
+
+    SweepOptions serial;
+    serial.threads = 1;
+    serial.deriveSeeds = true;
+    SweepOutcome one = SweepRunner(serial).run(points);
+
+    SweepOptions parallel = serial;
+    // All cores, but at least 4 workers so the identity check exercises
+    // real thread interleaving even on small machines.
+    parallel.threads =
+        std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+    SweepOutcome many = SweepRunner(parallel).run(points);
+
+    bool identical = true;
+    for (size_t i = 0; i < points.size(); i++) {
+        if (resultFingerprint(one.results[i]) !=
+            resultFingerprint(many.results[i])) {
+            identical = false;
+            std::printf("MISMATCH at point %zu (%s)\n", i, labels[i].c_str());
+        }
+    }
+
+    const double speedup =
+        many.wallSeconds > 0 ? one.wallSeconds / many.wallSeconds : 0;
+    std::printf("%zu points: %.2f s on 1 thread, %.2f s on %d threads "
+                "(%.2fx), results identical: %s\n",
+                points.size(), one.wallSeconds, many.wallSeconds,
+                many.threadsUsed, speedup, identical ? "yes" : "NO");
+
+    FILE* out = std::fopen(outPath.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"sweep_speedup\",\n"
+                 "  \"points\": %zu,\n"
+                 "  \"scale\": \"%s\",\n"
+                 "  \"wall_seconds_1_thread\": %.3f,\n"
+                 "  \"wall_seconds_parallel\": %.3f,\n"
+                 "  \"hardware_cores\": %u,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"results_identical_across_thread_counts\": %s\n"
+                 "}\n",
+                 points.size(), fullScale() ? "full" : "quick",
+                 one.wallSeconds, many.wallSeconds,
+                 std::thread::hardware_concurrency(), many.threadsUsed,
+                 speedup, identical ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", outPath.c_str());
+    return identical ? 0 : 1;
+}

@@ -5,6 +5,9 @@
 // plus optional knobs: [--seed N] [--wire-priorities N] [--sched K]
 // [--unsched K] [--cutoff BYTES] [--unsched-bytes N] [--reservation F]
 // [--grant-policy srpt|fifo|rr|unlimited] [--single-rack] [--wasted-bw]
+// and scenario selection: [--pattern NAME] [--hotspots N]
+// [--hotspot-degree N] [--hotspot-fraction F] [--rack-local F]
+// [--pareto-alpha F] [--trace FILE]
 //
 // Prints the slowdown-by-decile table, utilization, queue occupancy, and
 // priority usage for any protocol/workload/parameter combination — every
@@ -30,6 +33,14 @@ namespace {
         "  --window-ms N           traffic generation window (default 10)\n"
         "  --seed N                RNG seed (default 99)\n"
         "  --single-rack           16-host cluster instead of the fat-tree\n"
+        "  --pattern NAME          uniform|permutation|rack-skew|incast|\n"
+        "                          pareto|trace (default uniform)\n"
+        "  --hotspots N            incast: number of hot receivers\n"
+        "  --hotspot-degree N      incast: fan-in senders per hotspot\n"
+        "  --hotspot-fraction F    incast: sender traffic share to hotspot\n"
+        "  --rack-local F          rack-skew: intra-rack fraction\n"
+        "  --pareto-alpha F        pareto: sender popularity exponent\n"
+        "  --trace FILE            trace replay: '<us> <src> <dst> <bytes>'\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
         "              --overcommit N, --no-incast-control,\n"
@@ -73,6 +84,25 @@ int main(int argc, char** argv) {
             cfg.traffic.seed = std::stoull(next());
         } else if (arg == "--single-rack") {
             cfg.net = NetworkConfig::singleRack16();
+        } else if (arg == "--pattern") {
+            const std::string name = next();
+            if (!patternFromName(name, cfg.traffic.scenario.kind)) {
+                std::fprintf(stderr, "unknown pattern: %s\n", name.c_str());
+                usage();
+            }
+        } else if (arg == "--hotspots") {
+            cfg.traffic.scenario.hotspots = std::stoi(next());
+        } else if (arg == "--hotspot-degree") {
+            cfg.traffic.scenario.hotspotDegree = std::stoi(next());
+        } else if (arg == "--hotspot-fraction") {
+            cfg.traffic.scenario.hotspotFraction = std::stod(next());
+        } else if (arg == "--rack-local") {
+            cfg.traffic.scenario.rackLocalFraction = std::stod(next());
+        } else if (arg == "--pareto-alpha") {
+            cfg.traffic.scenario.paretoAlpha = std::stod(next());
+        } else if (arg == "--trace") {
+            cfg.traffic.scenario.kind = TrafficPatternKind::TraceReplay;
+            cfg.traffic.scenario.tracePath = next();
         } else if (arg == "--wire-priorities") {
             cfg.proto.homa.wirePriorities = std::stoi(next());
         } else if (arg == "--sched") {
@@ -111,6 +141,12 @@ int main(int argc, char** argv) {
             usage();
         }
     }
+    if (cfg.traffic.scenario.kind == TrafficPatternKind::TraceReplay &&
+        cfg.traffic.scenario.tracePath.empty()) {
+        std::fprintf(stderr,
+                     "pattern 'trace' needs a schedule: use --trace FILE\n");
+        usage();
+    }
     if (unsched > 0) cfg.proto.homa.unschedPriorities = unsched;
     if (sched > 0) {
         cfg.proto.homa.logicalPriorities =
@@ -122,12 +158,20 @@ int main(int argc, char** argv) {
     }
 
     const SizeDistribution& dist = workload(cfg.traffic.workload);
-    std::printf("%s on %s, %s, load %.0f%%, window %.0f ms, seed %llu\n\n",
-                protocolName(cfg.proto.kind),
-                cfg.net.singleRack() ? "16-host rack" : "144-host fat-tree",
-                dist.name().c_str(), 100 * cfg.traffic.load,
-                toSeconds(cfg.traffic.stop) * 1e3,
-                static_cast<unsigned long long>(cfg.traffic.seed));
+    // Trace replay ignores --load (the schedule sets the rate itself).
+    std::string loadStr = "load n/a (trace-driven)";
+    if (cfg.traffic.scenario.kind != TrafficPatternKind::TraceReplay) {
+        loadStr = "load ";
+        loadStr += std::to_string(static_cast<int>(100 * cfg.traffic.load));
+        loadStr += '%';
+    }
+    std::printf(
+        "%s on %s, %s, pattern %s, %s, window %.0f ms, seed %llu\n\n",
+        protocolName(cfg.proto.kind),
+        cfg.net.singleRack() ? "16-host rack" : "144-host fat-tree",
+        dist.name().c_str(), patternName(cfg.traffic.scenario.kind),
+        loadStr.c_str(), toSeconds(cfg.traffic.stop) * 1e3,
+        static_cast<unsigned long long>(cfg.traffic.seed));
 
     ExperimentResult r = runExperiment(cfg);
 

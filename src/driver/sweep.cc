@@ -1,0 +1,115 @@
+#include "driver/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "sim/random.h"
+
+namespace homa {
+
+uint64_t deriveSweepSeed(uint64_t base, uint64_t index) {
+    return mix64(base + (index + 1) * kGoldenGamma);
+}
+
+SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
+    SweepOutcome out;
+    if (opts_.deriveSeeds) {
+        for (size_t i = 0; i < points.size(); i++) {
+            points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
+        }
+    }
+    int threads = opts_.threads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads <= 0) threads = 1;
+    }
+    threads = std::min<int>(threads, static_cast<int>(points.size()));
+    threads = std::max(threads, 1);
+    out.threadsUsed = threads;
+    out.results.resize(points.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Pre-build the workload caches once, serially: worker threads then
+    // only read them (call_once makes the lazy path safe anyway, but this
+    // keeps the first point's wall time honest).
+    for (const ExperimentConfig& p : points) {
+        workload(p.traffic.workload).meanWireBytes();
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size()) return;
+            out.results[i] = runExperiment(points[i]);
+        }
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; t++) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return out;
+}
+
+namespace {
+
+void appendNum(std::string& s, const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%a;", key, v);
+    s += buf;
+}
+
+void appendInt(std::string& s, const char* key, uint64_t v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%llu;",
+                  key, static_cast<unsigned long long>(v));
+    s += buf;
+}
+
+}  // namespace
+
+std::string resultFingerprint(const ExperimentResult& r) {
+    std::string s;
+    appendInt(s, "generated", r.generated);
+    appendInt(s, "delivered", r.delivered);
+    appendInt(s, "deliveredTotal", r.deliveredTotal);
+    appendInt(s, "windowStart", static_cast<uint64_t>(r.windowStart));
+    appendInt(s, "windowEnd", static_cast<uint64_t>(r.windowEnd));
+    appendNum(s, "util", r.downlinkUtilization);
+    appendNum(s, "wasted", r.wastedBandwidth);
+    appendNum(s, "torUpMean", r.torUp.meanBytes);
+    appendInt(s, "torUpMax", static_cast<uint64_t>(r.torUp.maxBytes));
+    appendNum(s, "aggrDownMean", r.aggrDown.meanBytes);
+    appendInt(s, "aggrDownMax", static_cast<uint64_t>(r.aggrDown.maxBytes));
+    appendNum(s, "torDownMean", r.torDown.meanBytes);
+    appendInt(s, "torDownMax", static_cast<uint64_t>(r.torDown.maxBytes));
+    for (int p = 0; p < kPriorityLevels; p++) {
+        appendNum(s, "prio", r.prioUsage[p]);
+    }
+    appendInt(s, "drops", r.switchDrops);
+    appendInt(s, "trims", r.switchTrims);
+    appendInt(s, "keptUp", r.keptUp ? 1 : 0);
+    if (r.slowdown) {
+        appendNum(s, "p50", r.slowdown->overallPercentile(0.50));
+        appendNum(s, "p99", r.slowdown->overallPercentile(0.99));
+        for (const SlowdownRow& row : r.slowdown->rows()) {
+            appendInt(s, "bucketCount", row.count);
+            appendNum(s, "bucketMedian", row.median);
+            appendNum(s, "bucketP99", row.p99);
+            appendNum(s, "bucketMean", row.mean);
+        }
+    }
+    return s;
+}
+
+}  // namespace homa

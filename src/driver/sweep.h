@@ -1,0 +1,65 @@
+// Parallel sweep running: fan a vector of experiment points across a
+// thread pool.
+//
+// Every figure bench is a load x workload x protocol (x scenario) sweep;
+// each point is an independent simulation with its own Network and
+// EventLoop, so points parallelize perfectly. The contract that makes the
+// parallelism trustworthy: results are byte-identical whatever the thread
+// count (including 1), because each point's outcome depends only on its
+// own ExperimentConfig — there is no shared mutable state between runs
+// (the workload singletons' caches are built under a once_flag), and
+// results are collected into the input order, not completion order.
+//
+// Seed derivation rule: when `deriveSeeds` is set, point i runs with
+//   seed_i = deriveSweepSeed(baseSeed, i)
+// (a SplitMix64 finalizer over baseSeed + (i+1)*golden-gamma). Seeds are a
+// pure function of (baseSeed, index): re-running a sweep, resuming a
+// prefix, or running points one at a time by hand reproduces the same
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace homa {
+
+/// Deterministic per-point seed: SplitMix64 finalizer over
+/// base + (index+1) * 0x9E3779B97F4A7C15 (the golden-ratio gamma).
+uint64_t deriveSweepSeed(uint64_t base, uint64_t index);
+
+struct SweepOptions {
+    /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+    int threads = 0;
+    /// Overwrite each point's traffic.seed with deriveSweepSeed(baseSeed, i).
+    bool deriveSeeds = false;
+    uint64_t baseSeed = 99;
+};
+
+struct SweepOutcome {
+    /// results[i] corresponds to points[i], regardless of thread count.
+    std::vector<ExperimentResult> results;
+    double wallSeconds = 0;
+    int threadsUsed = 1;
+};
+
+class SweepRunner {
+public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+    SweepOutcome run(std::vector<ExperimentConfig> points) const;
+
+private:
+    SweepOptions opts_;
+};
+
+/// Canonical serialization of everything an ExperimentResult measures
+/// (counts, per-decile slowdown rows, utilization, queues, drops), with
+/// doubles printed as hex floats. Two results are byte-identical iff their
+/// fingerprints are equal — the determinism tests and the sweep bench diff
+/// these across runs and thread counts.
+std::string resultFingerprint(const ExperimentResult& r);
+
+}  // namespace homa

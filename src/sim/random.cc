@@ -3,15 +3,16 @@
 #include <cmath>
 
 namespace homa {
-namespace {
 
-uint64_t splitmix64(uint64_t& x) {
-    x += 0x9E3779B97F4A7C15ull;
-    uint64_t z = x;
+uint64_t mix64(uint64_t z) {
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return z ^ (z >> 31);
 }
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) { return mix64(x += kGoldenGamma); }
 
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

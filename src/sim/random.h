@@ -10,6 +10,13 @@
 
 namespace homa {
 
+/// The SplitMix64 additive constant (golden-ratio gamma).
+constexpr uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ull;
+
+/// SplitMix64 finalizer: a high-quality stateless 64-bit mixer. Used for
+/// Rng seeding and for derived-seed rules (e.g. deriveSweepSeed).
+uint64_t mix64(uint64_t z);
+
 class Rng {
 public:
     explicit Rng(uint64_t seed) { reseed(seed); }

@@ -102,18 +102,22 @@ double SizeDistribution::meanSize() const {
 }
 
 void SizeDistribution::ensureSample() const {
-    if (!mcSample_.empty()) return;
-    Rng rng(0x5EEDull ^ std::hash<std::string>{}(name_));
-    mcSample_.resize(200000);
-    for (auto& s : mcSample_) s = sample(rng);
+    // Both Monte Carlo caches build together under one once_flag so
+    // concurrent sweep workers never observe a partial cache.
+    std::call_once(mcOnce_, [this] {
+        Rng rng(0x5EEDull ^ std::hash<std::string>{}(name_));
+        mcSample_.resize(200000);
+        for (auto& s : mcSample_) s = sample(rng);
+        double total = 0;
+        for (uint32_t s : mcSample_) {
+            total += static_cast<double>(messageWireBytes(s));
+        }
+        cachedMeanWire_ = total / static_cast<double>(mcSample_.size());
+    });
 }
 
 double SizeDistribution::meanWireBytes() const {
-    if (cachedMeanWire_ >= 0) return cachedMeanWire_;
     ensureSample();
-    double total = 0;
-    for (uint32_t s : mcSample_) total += static_cast<double>(messageWireBytes(s));
-    cachedMeanWire_ = total / static_cast<double>(mcSample_.size());
     return cachedMeanWire_;
 }
 

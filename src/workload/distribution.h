@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,9 @@ private:
     // starting at (0, min) and ending at (1, max).
     std::vector<std::pair<double, double>> grid_;
     // Cached Monte Carlo aggregates (computed lazily, deterministic seed).
+    // Guarded by a once_flag: the workload singletons are shared across
+    // sweep worker threads, and the caches must build exactly once.
+    mutable std::once_flag mcOnce_;
     mutable double cachedMeanWire_ = -1.0;
     mutable std::vector<uint32_t> mcSample_;
     void ensureSample() const;

@@ -11,27 +11,108 @@ TrafficGenerator::TrafficGenerator(Network& net, TrafficConfig cfg,
       cfg_(cfg),
       dist_(workload(cfg.workload)),
       onCreate_(std::move(onCreate)) {
+    Rng master(cfg_.seed);
+    rngs_.reserve(net_.hostCount());
+    for (int h = 0; h < net_.hostCount(); h++) rngs_.push_back(master.fork());
+
+    if (cfg_.scenario.kind == TrafficPatternKind::TraceReplay) {
+        trace_ = !cfg_.scenario.traceText.empty()
+                     ? parseTrace(cfg_.scenario.traceText, net_.hostCount())
+                     : loadTraceFile(cfg_.scenario.tracePath, net_.hostCount());
+        return;
+    }
+
     assert(cfg_.load > 0 && cfg_.load <= 1.5);  // >1 allowed for overload tests
     // load = (wire bytes/message) / (interarrival * link rate)
-    //   => mean gap = meanWireBytes * psPerByte / load.
+    //   => mean gap = meanWireBytes * psPerByte / load for a weight-1 host.
     const double psPerByte =
         static_cast<double>(net_.config().hostLink.psPerByte);
     meanGap_ = static_cast<Duration>(
         std::llround(dist_.meanWireBytes() * psPerByte / cfg_.load));
 
-    Rng master(cfg_.seed);
-    rngs_.reserve(net_.hostCount());
-    for (int h = 0; h < net_.hostCount(); h++) rngs_.push_back(master.fork());
+    // The pattern's own randomness (permutation, popularity ranks) derives
+    // from the master stream, after the per-host forks, so adding a pattern
+    // never perturbs the per-host arrival streams of other scenarios.
+    pattern_ = makeTrafficPattern(cfg_.scenario, net_.hostCount(),
+                                  net_.config().hostsPerRack, master.next());
+
+    // Normalize weights so their sum is hostCount: the aggregate arrival
+    // rate (and thus offered load) is then independent of the pattern.
+    // Water-fill on top of that: a sender cannot offer more than its line
+    // rate (fraction 1.0; or `load` itself when load > 1, so overload
+    // experiments stay uniform overloads), so weights clamp at `cap` and
+    // the excess redistributes over the unclamped hosts. A no-op for
+    // patterns whose weights are all equal.
+    const int n = net_.hostCount();
+    const double cap = std::max(1.0, cfg_.load) / cfg_.load;
+    std::vector<double> raw(n), weight(n, 0.0);
+    for (HostId h = 0; h < n; h++) {
+        raw[h] = pattern_->senderWeight(h);
+        assert(raw[h] >= 0);
+    }
+    std::vector<bool> atCap(n, false);
+    int clamped = 0;
+    while (clamped < n) {
+        double freeRaw = 0;
+        for (HostId h = 0; h < n; h++) {
+            if (!atCap[h]) freeRaw += raw[h];
+        }
+        const double budget = static_cast<double>(n) - cap * clamped;
+        // Undistributable budget (every positive-weight sender capped):
+        // the requested aggregate is infeasible; offer what the caps allow.
+        if (freeRaw <= 0 || budget <= 0) break;
+        const double scale = budget / freeRaw;
+        bool newlyClamped = false;
+        for (HostId h = 0; h < n; h++) {
+            if (atCap[h]) continue;
+            if (raw[h] * scale > cap) {
+                atCap[h] = true;
+                weight[h] = cap;
+                clamped++;
+                newlyClamped = true;
+            } else {
+                weight[h] = raw[h] * scale;
+            }
+        }
+        if (!newlyClamped) break;
+    }
+    gaps_.assign(n, 0.0);
+    for (HostId h = 0; h < n; h++) {
+        gaps_[h] = weight[h] > 0 ? toSeconds(meanGap_) / weight[h] : 0.0;
+    }
 }
 
 void TrafficGenerator::start() {
+    if (cfg_.scenario.kind == TrafficPatternKind::TraceReplay) {
+        for (const TraceRecord& rec : trace_) {
+            const Time at = cfg_.start + rec.at;
+            if (at >= cfg_.stop) break;  // trace_ is time-sorted
+            net_.loop().at(at, [this, rec] {
+                Message m;
+                m.id = net_.nextMsgId();
+                m.src = rec.src;
+                m.dst = rec.dst;
+                m.length = rec.size;
+                emit(m);
+            });
+        }
+        return;
+    }
     for (HostId h = 0; h < net_.hostCount(); h++) {
+        if (gaps_[h] <= 0) continue;  // pattern muted this sender
         // Random phase so hosts don't fire in lockstep at t=start.
-        const Duration phase =
-            static_cast<Duration>(rngs_[h].exponential(toSeconds(meanGap_)) *
-                                  static_cast<double>(kSecond));
+        const Duration phase = static_cast<Duration>(
+            rngs_[h].exponential(gaps_[h]) * static_cast<double>(kSecond));
         net_.loop().at(cfg_.start + phase, [this, h] { scheduleNext(h); });
     }
+}
+
+void TrafficGenerator::emit(Message m) {
+    net_.sendMessage(m);
+    m.created = net_.loop().now();
+    generated_++;
+    generatedBytes_ += m.length;
+    if (onCreate_) onCreate_(m);
 }
 
 void TrafficGenerator::scheduleNext(HostId h) {
@@ -40,18 +121,13 @@ void TrafficGenerator::scheduleNext(HostId h) {
     Message m;
     m.id = net_.nextMsgId();
     m.src = h;
-    HostId dst = static_cast<HostId>(rngs_[h].below(net_.hostCount() - 1));
-    if (dst >= h) dst++;
-    m.dst = dst;
+    m.dst = pattern_->pickDestination(h, rngs_[h]);
+    assert(m.dst != h);
     m.length = dist_.sample(rngs_[h]);
-    net_.sendMessage(m);
-    m.created = net_.loop().now();
-    generated_++;
-    generatedBytes_ += m.length;
-    if (onCreate_) onCreate_(m);
+    emit(m);
 
     const Duration gap = static_cast<Duration>(
-        rngs_[h].exponential(toSeconds(meanGap_)) * static_cast<double>(kSecond));
+        rngs_[h].exponential(gaps_[h]) * static_cast<double>(kSecond));
     net_.loop().after(std::max<Duration>(1, gap), [this, h] { scheduleNext(h); });
 }
 

@@ -1,16 +1,20 @@
-// Open-loop Poisson traffic generation (§5.2 methodology).
+// Open-loop traffic generation (§5.2 methodology), scenario-aware.
 //
-// Each host creates new one-way messages according to a Poisson process;
-// sizes come from the chosen workload; destinations are uniform over the
-// other hosts. The per-host arrival rate is calibrated so the aggregate
+// For Poisson scenarios, each host creates new one-way messages according
+// to a Poisson process; sizes come from the chosen workload; destinations
+// and per-host rate weights come from the scenario's `TrafficPattern`
+// (uniform by default). The arrival rates are calibrated so the aggregate
 // offered load is the requested fraction of total host-link bandwidth,
 // counting on-the-wire bytes of goodput data packets (payload + headers +
-// framing).
+// framing) — weights are normalized, so the aggregate is
+// pattern-independent. A TraceReplay scenario bypasses the Poisson process
+// and replays an explicit (time, src, dst, size) schedule.
 #pragma once
 
 #include <functional>
 
 #include "sim/network.h"
+#include "workload/scenario.h"
 #include "workload/workloads.h"
 
 namespace homa {
@@ -21,6 +25,7 @@ struct TrafficConfig {
     uint64_t seed = 99;
     Time start = 0;
     Time stop = milliseconds(10);  // stop *generating* at this time
+    ScenarioConfig scenario;
 };
 
 class TrafficGenerator {
@@ -35,16 +40,23 @@ public:
     uint64_t generatedMessages() const { return generated_; }
     int64_t generatedBytes() const { return generatedBytes_; }
 
-    /// Mean interarrival time per host for this config.
+    /// Mean interarrival time for a weight-1 host (0 for trace replay).
     Duration meanInterarrival() const { return meanGap_; }
+
+    /// The scenario's pattern (null for trace replay).
+    const TrafficPattern* pattern() const { return pattern_.get(); }
 
 private:
     void scheduleNext(HostId h);
+    void emit(Message m);
 
     Network& net_;
     TrafficConfig cfg_;
     const SizeDistribution& dist_;
     std::function<void(const Message&)> onCreate_;
+    std::unique_ptr<TrafficPattern> pattern_;
+    std::vector<double> gaps_;       // per-host mean interarrival (0 = mute)
+    std::vector<TraceRecord> trace_;
     Duration meanGap_ = 0;
     std::vector<Rng> rngs_;  // one independent stream per host
     uint64_t generated_ = 0;

@@ -1,0 +1,262 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace homa {
+
+const char* patternName(TrafficPatternKind kind) {
+    switch (kind) {
+        case TrafficPatternKind::Uniform: return "uniform";
+        case TrafficPatternKind::Permutation: return "permutation";
+        case TrafficPatternKind::RackSkew: return "rack-skew";
+        case TrafficPatternKind::Incast: return "incast";
+        case TrafficPatternKind::ParetoSenders: return "pareto";
+        case TrafficPatternKind::TraceReplay: return "trace";
+    }
+    return "?";
+}
+
+bool patternFromName(const std::string& name, TrafficPatternKind& out) {
+    for (TrafficPatternKind k :
+         {TrafficPatternKind::Uniform, TrafficPatternKind::Permutation,
+          TrafficPatternKind::RackSkew, TrafficPatternKind::Incast,
+          TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay}) {
+        if (name == patternName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+[[noreturn]] void traceError(size_t line, const char* what) {
+    std::fprintf(stderr, "trace line %zu: %s\n", line, what);
+    std::exit(2);
+}
+
+/// Uniform destination over all hosts except `src`.
+HostId uniformDst(HostId src, int hostCount, Rng& rng) {
+    HostId dst = static_cast<HostId>(rng.below(hostCount - 1));
+    if (dst >= src) dst++;
+    return dst;
+}
+
+class UniformPattern final : public TrafficPattern {
+public:
+    explicit UniformPattern(int hostCount) : hosts_(hostCount) {}
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::Uniform;
+    }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        return uniformDst(src, hosts_, rng);
+    }
+
+private:
+    int hosts_;
+};
+
+class PermutationPattern final : public TrafficPattern {
+public:
+    PermutationPattern(int hostCount, uint64_t seed) : dst_(hostCount) {
+        // Sattolo's algorithm: a uniform single-cycle permutation, so no
+        // host sends to itself and every host receives from exactly one.
+        Rng rng(seed);
+        std::vector<HostId> p(hostCount);
+        for (int i = 0; i < hostCount; i++) p[i] = static_cast<HostId>(i);
+        for (int i = hostCount - 1; i > 0; i--) {
+            const int j = static_cast<int>(rng.below(static_cast<uint64_t>(i)));
+            std::swap(p[i], p[j]);
+        }
+        dst_ = std::move(p);
+    }
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::Permutation;
+    }
+    HostId pickDestination(HostId src, Rng&) const override {
+        return dst_[src];
+    }
+
+private:
+    std::vector<HostId> dst_;
+};
+
+class RackSkewPattern final : public TrafficPattern {
+public:
+    RackSkewPattern(int hostCount, int hostsPerRack, double localFraction)
+        : hosts_(hostCount),
+          perRack_(hostsPerRack),
+          local_(perRack_ > 1 ? localFraction : 0.0) {}
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::RackSkew;
+    }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        if (rng.chance(local_)) {
+            const HostId rackBase = src / perRack_ * perRack_;
+            HostId dst = rackBase + static_cast<HostId>(rng.below(perRack_ - 1));
+            if (dst >= src) dst++;
+            return dst;
+        }
+        return uniformDst(src, hosts_, rng);
+    }
+
+private:
+    int hosts_;
+    int perRack_;
+    double local_;
+};
+
+class IncastPattern final : public TrafficPattern {
+public:
+    IncastPattern(const ScenarioConfig& cfg, int hostCount)
+        : hosts_(hostCount), fraction_(cfg.hotspotFraction) {
+        // Every hotspot needs at least one dedicated sender, so the
+        // hotspot count caps at half the cluster and the fan-in degree at
+        // the senders available per hotspot. Hot receivers are hosts
+        // [0, hot); their senders are assigned round-robin from the
+        // remaining hosts so groups span racks.
+        const int hot = std::clamp(cfg.hotspots, 1, hostCount / 2);
+        const int perHot = (hostCount - hot) / hot;  // >= 1
+        int degree = cfg.hotspotDegree <= 0 ? perHot : cfg.hotspotDegree;
+        degree = std::clamp(degree, 1, perHot);
+        target_.assign(hostCount, kNone);
+        for (int i = 0; i < hot * degree; i++) {
+            target_[hot + i] = static_cast<HostId>(i % hot);
+        }
+    }
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::Incast;
+    }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        const HostId hot = target_[src];
+        if (hot != kNone && rng.chance(fraction_)) return hot;
+        return uniformDst(src, hosts_, rng);
+    }
+    /// Fan-in target of `src`, or -1 when `src` is background traffic.
+    HostId targetOf(HostId src) const { return target_[src]; }
+
+private:
+    static constexpr HostId kNone = -1;
+    int hosts_;
+    double fraction_;
+    std::vector<HostId> target_;
+};
+
+class ParetoSendersPattern final : public TrafficPattern {
+public:
+    ParetoSendersPattern(int hostCount, double alpha, uint64_t seed)
+        : hosts_(hostCount), weight_(hostCount) {
+        // Popularity rank is a deterministic shuffle of the hosts; the
+        // k-th most popular sender gets weight (k+1)^-alpha. The generator
+        // renormalizes, so only relative magnitudes matter here.
+        Rng rng(seed);
+        std::vector<int> rank(hostCount);
+        for (int i = 0; i < hostCount; i++) rank[i] = i;
+        for (int i = hostCount - 1; i > 0; i--) {
+            const int j =
+                static_cast<int>(rng.below(static_cast<uint64_t>(i + 1)));
+            std::swap(rank[i], rank[j]);
+        }
+        for (int i = 0; i < hostCount; i++) {
+            weight_[rank[i]] = std::pow(static_cast<double>(i + 1), -alpha);
+        }
+    }
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::ParetoSenders;
+    }
+    double senderWeight(HostId h) const override { return weight_[h]; }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        return uniformDst(src, hosts_, rng);
+    }
+
+private:
+    int hosts_;
+    std::vector<double> weight_;
+};
+
+}  // namespace
+
+std::vector<TraceRecord> parseTrace(const std::string& text, int hostCount) {
+    std::vector<TraceRecord> out;
+    std::istringstream in(text);
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        lineNo++;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;  // blank or comment-only line
+        }
+        std::istringstream fields(line);
+        double timeUs;
+        int64_t src, dst, size;
+        if (!(fields >> timeUs >> src >> dst >> size)) {
+            traceError(lineNo, "expected '<time_us> <src> <dst> <size>'");
+        }
+        if (timeUs < 0 || size <= 0 || size > 0xFFFFFFFFll || src == dst) {
+            traceError(lineNo,
+                       "negative time, size out of [1, 2^32), or src==dst");
+        }
+        if (hostCount > 0 &&
+            (src < 0 || src >= hostCount || dst < 0 || dst >= hostCount)) {
+            traceError(lineNo, "host id out of range for this topology");
+        }
+        TraceRecord r;
+        r.at = static_cast<Duration>(timeUs * static_cast<double>(kMicrosecond));
+        r.src = static_cast<HostId>(src);
+        r.dst = static_cast<HostId>(dst);
+        r.size = static_cast<uint32_t>(size);
+        out.push_back(r);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                         return a.at < b.at;
+                     });
+    return out;
+}
+
+std::vector<TraceRecord> loadTraceFile(const std::string& path, int hostCount) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open trace file: %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return parseTrace(buf.str(), hostCount);
+}
+
+std::unique_ptr<TrafficPattern> makeTrafficPattern(const ScenarioConfig& cfg,
+                                                   int hostCount,
+                                                   int hostsPerRack,
+                                                   uint64_t seed) {
+    assert(hostCount >= 2);
+    switch (cfg.kind) {
+        case TrafficPatternKind::Uniform:
+            return std::make_unique<UniformPattern>(hostCount);
+        case TrafficPatternKind::Permutation:
+            return std::make_unique<PermutationPattern>(hostCount, seed);
+        case TrafficPatternKind::RackSkew:
+            return std::make_unique<RackSkewPattern>(hostCount, hostsPerRack,
+                                                     cfg.rackLocalFraction);
+        case TrafficPatternKind::Incast:
+            return std::make_unique<IncastPattern>(cfg, hostCount);
+        case TrafficPatternKind::ParetoSenders:
+            return std::make_unique<ParetoSendersPattern>(
+                hostCount, cfg.paretoAlpha, seed);
+        case TrafficPatternKind::TraceReplay:
+            break;
+    }
+    assert(false && "TraceReplay has no TrafficPattern");
+    return nullptr;
+}
+
+}  // namespace homa

@@ -1,0 +1,107 @@
+// Traffic scenarios: who talks to whom, and at what relative rate.
+//
+// The paper's evaluation (§5.2) uses uniform-random Poisson traffic, but
+// receiver-driven scheduling is stressed hardest by *skewed* matrices:
+// fan-in hotspots (incast), rack-local locality, and heavy-tailed sender
+// popularity. `TrafficPattern` is the seam behind `TrafficGenerator` that
+// owns destination choice and per-sender rate weighting; `ScenarioConfig`
+// selects and parameterizes a pattern and rides inside `TrafficConfig`, so
+// every experiment, bench, and the sweep runner can pick a scenario.
+//
+// All patterns are deterministic given (config, seed): pattern-internal
+// randomness (permutations, hotspot placement, popularity ranks) is fixed
+// at construction from the seed the generator passes in.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace homa {
+
+enum class TrafficPatternKind {
+    Uniform,        // destinations uniform over the other hosts (the paper)
+    Permutation,    // fixed random derangement: host i always sends to p(i)
+    RackSkew,       // rackLocalFraction of messages stay inside the rack
+    Incast,         // N-to-1 fan-in groups aimed at a few hot receivers
+    ParetoSenders,  // sender popularity ~ rank^-alpha, destinations uniform
+    TraceReplay,    // explicit (time, src, dst, size) schedule from text
+};
+
+const char* patternName(TrafficPatternKind kind);
+/// Parses a pattern name (as printed by patternName, case-sensitive);
+/// returns false and leaves `out` untouched on unknown names.
+bool patternFromName(const std::string& name, TrafficPatternKind& out);
+
+struct ScenarioConfig {
+    TrafficPatternKind kind = TrafficPatternKind::Uniform;
+
+    // Incast: `hotspots` hot receivers (capped at half the cluster); each
+    // is the target of a fan-in group of `hotspotDegree` dedicated senders
+    // (0 = all non-hot hosts join a group; capped at the senders available
+    // per hotspot). A group sender aims `hotspotFraction` of its messages
+    // at its hotspot and spreads the rest uniformly; hosts outside every
+    // group send uniform background traffic.
+    int hotspots = 1;
+    int hotspotDegree = 16;
+    double hotspotFraction = 1.0;
+
+    // RackSkew: fraction of messages that pick an intra-rack destination.
+    double rackLocalFraction = 0.8;
+
+    // ParetoSenders: weight of the k-th most popular sender ~ k^-alpha.
+    double paretoAlpha = 1.2;
+
+    // TraceReplay: lines of "<time_us> <src> <dst> <size_bytes>"
+    // (blank lines and '#' comments ignored). `traceText` takes precedence
+    // over `tracePath`; times are offsets from the generator's start time.
+    std::string tracePath;
+    std::string traceText;
+};
+
+/// One trace-replay record; `at` is an offset from TrafficConfig::start.
+struct TraceRecord {
+    Duration at = 0;
+    HostId src = 0;
+    HostId dst = 0;
+    uint32_t size = 0;
+};
+
+/// Parses trace text. Aborts (assert/fprintf+exit) on malformed lines or
+/// out-of-range hosts when `hostCount` > 0.
+std::vector<TraceRecord> parseTrace(const std::string& text,
+                                    int hostCount = 0);
+std::vector<TraceRecord> loadTraceFile(const std::string& path,
+                                       int hostCount = 0);
+
+/// Destination choice and sender rate weighting for Poisson scenarios.
+class TrafficPattern {
+public:
+    virtual ~TrafficPattern() = default;
+
+    virtual TrafficPatternKind kind() const = 0;
+
+    /// Relative Poisson arrival weight of host h; 0 = host never sends.
+    /// The generator normalizes weights so the aggregate offered load is
+    /// independent of the pattern, and water-fills so no single sender is
+    /// asked to offer more than its line rate (excess redistributes over
+    /// the unclamped hosts) — skew patterns saturate their top senders
+    /// instead of demanding the physically impossible.
+    virtual double senderWeight(HostId) const { return 1.0; }
+
+    /// Pick a destination for a message from `src`; never returns `src`.
+    virtual HostId pickDestination(HostId src, Rng& rng) const = 0;
+};
+
+/// Builds the pattern for a scenario (TraceReplay has no pattern; the
+/// generator replays records directly — calling this for it aborts).
+std::unique_ptr<TrafficPattern> makeTrafficPattern(const ScenarioConfig& cfg,
+                                                   int hostCount,
+                                                   int hostsPerRack,
+                                                   uint64_t seed);
+
+}  // namespace homa

@@ -140,6 +140,96 @@ TEST(RpcExperiment, HomaBeatsStreamingTail) {
               stream.slowdown->overallPercentile(0.99));
 }
 
+TEST(ExperimentDriver, WarmupZeroCountsEveryMessage) {
+    ExperimentConfig cfg = smallConfig(WorkloadId::W2, 0.4);
+    cfg.warmupFraction = 0.0;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.windowStart, cfg.traffic.start);
+    // Every generated message is in-window, so the window counters and the
+    // all-inclusive totals coincide.
+    EXPECT_GT(r.generated, 0u);
+    EXPECT_EQ(r.delivered, r.deliveredTotal);
+    EXPECT_EQ(r.slowdown->count(), r.delivered);
+}
+
+TEST(ExperimentDriver, WarmupOneYieldsEmptyWindowSafely) {
+    ExperimentConfig cfg = smallConfig(WorkloadId::W2, 0.4);
+    cfg.warmupFraction = 1.0;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.windowStart, r.windowEnd);
+    EXPECT_EQ(r.generated, 0u);
+    EXPECT_EQ(r.delivered, 0u);
+    EXPECT_EQ(r.slowdown->count(), 0u);
+    EXPECT_FALSE(r.keptUp);
+    EXPECT_EQ(r.downlinkUtilization, 0.0);  // zero-length window
+    EXPECT_GT(r.deliveredTotal, 0u);        // traffic still flowed
+}
+
+TEST(ExperimentDriver, WindowBoundariesExcludeStraddlingMessages) {
+    // Trace replay pins message creation times exactly: one message lands
+    // before windowStart (warm-up), one inside the window, one at the very
+    // first instant of the window, and generation stops at windowEnd.
+    ExperimentConfig cfg;
+    cfg.net = NetworkConfig::singleRack16();
+    cfg.traffic.stop = milliseconds(10);
+    cfg.warmupFraction = 0.5;  // windowStart = 5 ms
+    cfg.traffic.scenario.kind = TrafficPatternKind::TraceReplay;
+    cfg.traffic.scenario.traceText =
+        "1000 1 2 2000\n"    // 1 ms: warm-up, excluded
+        "5000 3 4 2000\n"    // exactly windowStart: included
+        "7000 5 6 2000\n";   // inside the window: included
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.generated, 2u);
+    EXPECT_EQ(r.delivered, 2u);
+    EXPECT_EQ(r.deliveredTotal, 3u);
+    EXPECT_EQ(r.slowdown->count(), 2u);
+}
+
+TEST(ExperimentDriver, IncastOverflowDropsPropagateToResult) {
+    // Finite tail-drop buffers + an N-to-1 fan-in hotspot: the hot
+    // receiver's TOR downlink must overflow, and the qdiscs' drop counts
+    // must surface as ExperimentResult::switchDrops.
+    ExperimentConfig cfg = smallConfig(WorkloadId::W3, 0.6);
+    cfg.traffic.scenario.kind = TrafficPatternKind::Incast;
+    cfg.traffic.scenario.hotspots = 2;
+    cfg.traffic.scenario.hotspotDegree = 32;
+    cfg.net.switchQdisc = [] {
+        StrictPriorityOptions o;
+        o.capBytes = 50'000;  // far below the fan-in burst
+        return std::make_unique<StrictPriorityQdisc>(o);
+    };
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GT(r.switchDrops, 0u);
+    EXPECT_EQ(r.switchTrims, 0u);  // tail-drop path, not trimming
+    EXPECT_FALSE(r.keptUp);        // 32x oversubscription cannot keep up
+}
+
+TEST(ExperimentDriver, IncastOverflowTrimsOnNdp) {
+    // Same hotspot under NDP's default switch: overflowing DATA packets
+    // are trimmed to headers (never dropped), and the trim counts must
+    // surface as ExperimentResult::switchTrims.
+    ExperimentConfig cfg = smallConfig(WorkloadId::W3, 0.6, Protocol::Ndp);
+    cfg.traffic.scenario.kind = TrafficPatternKind::Incast;
+    cfg.traffic.scenario.hotspots = 2;
+    cfg.traffic.scenario.hotspotDegree = 32;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GT(r.switchTrims, 0u);
+    EXPECT_EQ(r.switchDrops, 0u);
+}
+
+TEST(ExperimentDriver, GenerousBuffersAbsorbTheSameIncast) {
+    // Control for the drop test: the identical hotspot with the default
+    // unbounded switch produces zero drops (the overload shows up as
+    // backlog, not loss).
+    ExperimentConfig cfg = smallConfig(WorkloadId::W3, 0.6);
+    cfg.traffic.scenario.kind = TrafficPatternKind::Incast;
+    cfg.traffic.scenario.hotspots = 2;
+    cfg.traffic.scenario.hotspotDegree = 32;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.switchDrops, 0u);
+    EXPECT_EQ(r.switchTrims, 0u);
+}
+
 TEST(FindMaxLoad, DetectsACapForPHost) {
     // pHost (no overcommitment) must cap strictly below Homa on W3.
     ExperimentConfig base = smallConfig(WorkloadId::W3, 0.5, Protocol::PHost);

@@ -72,6 +72,67 @@ TEST(StrictPriority, CapDropsWhenFull) {
     EXPECT_EQ(q.stats().dropped, 7u);
 }
 
+TEST(StrictPriority, DropAccountingLeavesQueueStateUntouched) {
+    StrictPriorityOptions o;
+    o.capBytes = 2 * 1500;
+    StrictPriorityQdisc q(o);
+    Packet a = dataPacket(3), b = dataPacket(5);
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));
+    const int64_t bytesBefore = q.queuedBytes();
+    const size_t packetsBefore = q.queuedPackets();
+    for (uint32_t i = 0; i < 4; i++) {
+        Packet p = dataPacket(7, kMaxPayload, /*msg=*/100 + i);
+        EXPECT_FALSE(q.enqueue(p));
+    }
+    // A rejected packet must not perturb occupancy or the enqueued count.
+    EXPECT_EQ(q.queuedBytes(), bytesBefore);
+    EXPECT_EQ(q.queuedPackets(), packetsBefore);
+    EXPECT_EQ(q.stats().dropped, 4u);
+    EXPECT_EQ(q.stats().enqueued, 2u);
+    // The queue keeps serving what it accepted.
+    EXPECT_EQ(q.dequeue()->priority, 5);
+    EXPECT_EQ(q.dequeue()->priority, 3);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(StrictPriority, DrainingBelowCapAcceptsAgain) {
+    StrictPriorityOptions o;
+    o.capBytes = 1500;
+    StrictPriorityQdisc q(o);
+    Packet a = dataPacket(0);
+    ASSERT_TRUE(q.enqueue(a));
+    Packet b = dataPacket(0);
+    EXPECT_FALSE(q.enqueue(b));
+    q.dequeue();
+    Packet c = dataPacket(0);
+    EXPECT_TRUE(q.enqueue(c));
+    EXPECT_EQ(q.stats().dropped, 1u);
+    EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(StrictPriority, TrimAccountsHeaderBytesOnly) {
+    StrictPriorityOptions o;
+    o.capBytes = 2 * 1500;
+    o.trimOnOverflow = true;
+    StrictPriorityQdisc q(o);
+    Packet a = dataPacket(0), b = dataPacket(0);
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));
+    const int64_t bytesBefore = q.queuedBytes();
+    Packet c = dataPacket(0, kMaxPayload, /*msg=*/7, /*offset=*/2884);
+    ASSERT_TRUE(q.enqueue(c));
+    // The trimmed packet occupies one header, no payload, and keeps its
+    // message identity so the receiver can request a retransmission.
+    EXPECT_EQ(q.queuedBytes(), bytesBefore + kHeaderBytes);
+    EXPECT_EQ(q.stats().trimmed, 1u);
+    EXPECT_EQ(q.stats().dropped, 0u);
+    EXPECT_EQ(q.stats().enqueued, 3u);
+    auto first = q.dequeue();
+    EXPECT_EQ(first->msg, 7u);
+    EXPECT_EQ(first->offset, 2884u);
+}
+
 TEST(StrictPriority, TrimOnOverflowConvertsToHeader) {
     StrictPriorityOptions o;
     o.capBytes = 2 * 1500;
@@ -160,6 +221,30 @@ TEST(PFabric, IncomingWorstIsDroppedItself) {
     c.remaining = 30;  // worse than everything queued
     EXPECT_FALSE(q.enqueue(c));
     EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(PFabric, EvictionAccountingStaysConsistent) {
+    PFabricQdisc q(PFabricOptions{2 * 1500});
+    Packet a = dataPacket(0, kMaxPayload, 1);
+    a.remaining = 10;
+    Packet b = dataPacket(0, kMaxPayload, 2);
+    b.remaining = 999999;
+    ASSERT_TRUE(q.enqueue(a));
+    ASSERT_TRUE(q.enqueue(b));
+    const int64_t bytesFull = q.queuedBytes();
+    Packet c = dataPacket(0, kMaxPayload, 3);
+    c.remaining = 20;
+    ASSERT_TRUE(q.enqueue(c));  // evicts b
+    // Eviction swaps one packet for another: occupancy is unchanged, and
+    // enqueued counts accepted packets while dropped counts the victim.
+    EXPECT_EQ(q.queuedBytes(), bytesFull);
+    EXPECT_EQ(q.queuedPackets(), 2u);
+    EXPECT_EQ(q.stats().enqueued, 3u);
+    EXPECT_EQ(q.stats().dropped, 1u);
+    q.dequeue();
+    q.dequeue();
+    EXPECT_EQ(q.queuedBytes(), 0);
+    EXPECT_EQ(q.queuedPackets(), 0u);
 }
 
 TEST(PFabric, ControlServedBeforeData) {

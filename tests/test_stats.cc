@@ -35,6 +35,39 @@ TEST(Samples, PercentileNearestRank) {
     EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
 }
 
+TEST(Samples, SingleSampleAnswersEveryQuery) {
+    Samples s;
+    s.add(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(s.percentile(p), 7.5) << "p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(Samples, DuplicateHeavyInput) {
+    // 990 copies of 1.0 and 10 of 2.0: nearest-rank percentiles must sit
+    // on the duplicated value through p99 and step up only past it.
+    Samples s;
+    for (int i = 0; i < 990; i++) s.add(1.0);
+    for (int i = 0; i < 10; i++) s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.995), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), (990.0 + 20.0) / 1000.0);
+}
+
+TEST(Samples, PercentileClampsOutOfRangeP) {
+    Samples s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.5), 2.0);
+}
+
 TEST(Samples, InterleavedAddAndQuery) {
     Samples s;
     s.add(10);
@@ -90,6 +123,33 @@ TEST(SlowdownTracker, IgnoresLargeMessagesForTailDecomposition) {
     auto [queueing, lag] = t.tailDelaySources();
     EXPECT_EQ(queueing, 0);
     EXPECT_EQ(lag, 0);
+}
+
+TEST(SlowdownTracker, EmptyTrackerIsSafe) {
+    const auto& dist = workload(WorkloadId::W2);
+    SlowdownTracker t(dist, [](uint32_t) { return microseconds(1); });
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.overallPercentile(0.99), 0.0);
+    auto rows = t.rows();
+    ASSERT_EQ(rows.size(), 10u);
+    for (const auto& row : rows) {
+        EXPECT_EQ(row.count, 0u);
+        EXPECT_EQ(row.median, 0.0);
+        EXPECT_EQ(row.p99, 0.0);
+    }
+    auto [queueing, lag] = t.tailDelaySources();
+    EXPECT_EQ(queueing, 0);
+    EXPECT_EQ(lag, 0);
+}
+
+TEST(SlowdownTracker, DuplicateHeavySamplesKeepExactPercentiles) {
+    const auto& dist = workload(WorkloadId::W1);
+    SlowdownTracker t(dist, [](uint32_t) { return microseconds(1); });
+    for (int i = 0; i < 500; i++) t.record(100, microseconds(1));  // slowdown 1
+    t.record(100, microseconds(50));  // one straggler
+    EXPECT_DOUBLE_EQ(t.overallPercentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.overallPercentile(0.99), 1.0);
+    EXPECT_DOUBLE_EQ(t.overallPercentile(1.0), 50.0);
 }
 
 TEST(Table, FormatsAlignedColumns) {
