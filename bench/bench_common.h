@@ -23,15 +23,17 @@ inline bool fullScale() {
     return env != nullptr && std::strcmp(env, "full") == 0;
 }
 
-/// Scenario override for the figure benches: HOMA_SCENARIO names a traffic
-/// pattern (uniform|permutation|rack-skew|incast|pareto); pattern knobs
-/// keep their ScenarioConfig defaults. Trace replay needs an explicit
-/// schedule, so it is driven via example_run_experiment --trace instead.
+/// Scenario override for the figure benches: HOMA_SCENARIO takes a spec
+/// "<pattern>" or "<pattern>+on-off" (uniform|permutation|rack-skew|
+/// incast|pareto|closed-loop); pattern and ON-OFF knobs keep their
+/// ScenarioConfig defaults. Trace replay needs an explicit schedule, so
+/// it is driven via example_run_experiment --trace instead.
 inline ScenarioConfig scenarioFromEnv() {
     ScenarioConfig s;
     const char* env = std::getenv("HOMA_SCENARIO");
-    if (env != nullptr && !patternFromName(env, s.kind)) {
-        std::fprintf(stderr, "HOMA_SCENARIO: unknown pattern '%s'\n", env);
+    if (env != nullptr && !scenarioFromSpec(env, s)) {
+        std::fprintf(stderr, "HOMA_SCENARIO: unknown scenario spec '%s'\n",
+                     env);
         std::exit(2);
     }
     if (s.kind == TrafficPatternKind::TraceReplay) {
@@ -39,6 +41,13 @@ inline ScenarioConfig scenarioFromEnv() {
                      "HOMA_SCENARIO=trace needs a schedule; use "
                      "example_run_experiment --trace FILE\n");
         std::exit(2);
+    }
+    if (s.kind == TrafficPatternKind::ClosedLoop) {
+        // Closed loop sets its own rate, so a bench's load axis collapses:
+        // points differing only in load run identical experiments.
+        std::fprintf(stderr,
+                     "note: closed-loop ignores per-point load; rows "
+                     "labelled with different loads will coincide\n");
     }
     return s;
 }

@@ -34,13 +34,22 @@ namespace {
         "  --seed N                RNG seed (default 99)\n"
         "  --single-rack           16-host cluster instead of the fat-tree\n"
         "  --pattern NAME          uniform|permutation|rack-skew|incast|\n"
-        "                          pareto|trace (default uniform)\n"
+        "                          pareto|trace|closed-loop (default uniform)\n"
         "  --hotspots N            incast: number of hot receivers\n"
         "  --hotspot-degree N      incast: fan-in senders per hotspot\n"
         "  --hotspot-fraction F    incast: sender traffic share to hotspot\n"
         "  --rack-local F          rack-skew: intra-rack fraction\n"
         "  --pareto-alpha F        pareto: sender popularity exponent\n"
         "  --trace FILE            trace replay: '<us> <src> <dst> <bytes>'\n"
+        "  --window N              closed-loop: outstanding messages per\n"
+        "                          host (default 4; --load is ignored)\n"
+        "  --think-us F            closed-loop: mean think time before the\n"
+        "                          next message (default 0)\n"
+        "  --on-off                ON-OFF bursts: modulate any pattern with\n"
+        "                          per-host burst/idle periods\n"
+        "  --on-us F / --off-us F  mean burst / idle duration (100 / 300)\n"
+        "  --on-off-dist NAME      period distribution: exp|pareto\n"
+        "  --on-off-shape F        pareto period shape (> 1, default 1.5)\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
         "              --overcommit N, --no-incast-control,\n"
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
     cfg.traffic.stop = milliseconds(10);
 
     int sched = 0, unsched = 0;
+    bool closedLoopFlagSeen = false, onOffKnobSeen = false;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -103,6 +113,33 @@ int main(int argc, char** argv) {
         } else if (arg == "--trace") {
             cfg.traffic.scenario.kind = TrafficPatternKind::TraceReplay;
             cfg.traffic.scenario.tracePath = next();
+        } else if (arg == "--window") {
+            cfg.traffic.scenario.closedLoopWindow = std::stoi(next());
+            closedLoopFlagSeen = true;
+        } else if (arg == "--think-us") {
+            cfg.traffic.scenario.thinkTime = static_cast<Duration>(
+                std::stod(next()) * static_cast<double>(kMicrosecond));
+            closedLoopFlagSeen = true;
+        } else if (arg == "--on-off") {
+            cfg.traffic.scenario.onOff.enabled = true;
+        } else if (arg == "--on-us") {
+            cfg.traffic.scenario.onOff.onMean = static_cast<Duration>(
+                std::stod(next()) * static_cast<double>(kMicrosecond));
+            onOffKnobSeen = true;
+        } else if (arg == "--off-us") {
+            cfg.traffic.scenario.onOff.offMean = static_cast<Duration>(
+                std::stod(next()) * static_cast<double>(kMicrosecond));
+            onOffKnobSeen = true;
+        } else if (arg == "--on-off-dist") {
+            const std::string name = next();
+            if (!onOffDistFromName(name, cfg.traffic.scenario.onOff.dist)) {
+                std::fprintf(stderr, "unknown on-off dist: %s\n", name.c_str());
+                usage();
+            }
+            onOffKnobSeen = true;
+        } else if (arg == "--on-off-shape") {
+            cfg.traffic.scenario.onOff.paretoShape = std::stod(next());
+            onOffKnobSeen = true;
         } else if (arg == "--wire-priorities") {
             cfg.proto.homa.wirePriorities = std::stoi(next());
         } else if (arg == "--sched") {
@@ -147,6 +184,40 @@ int main(int argc, char** argv) {
                      "pattern 'trace' needs a schedule: use --trace FILE\n");
         usage();
     }
+    if (cfg.traffic.scenario.kind == TrafficPatternKind::TraceReplay &&
+        cfg.traffic.scenario.onOff.enabled) {
+        std::fprintf(stderr,
+                     "--on-off does not compose with trace replay (the "
+                     "trace carries its own timing)\n");
+        usage();
+    }
+    if (cfg.traffic.scenario.closedLoopWindow < 1) {
+        std::fprintf(stderr, "--window must be >= 1\n");
+        usage();
+    }
+    if (closedLoopFlagSeen &&
+        cfg.traffic.scenario.kind != TrafficPatternKind::ClosedLoop) {
+        std::fprintf(stderr,
+                     "--window/--think-us only apply to --pattern "
+                     "closed-loop\n");
+        usage();
+    }
+    if (onOffKnobSeen && !cfg.traffic.scenario.onOff.enabled) {
+        std::fprintf(stderr,
+                     "--on-us/--off-us/--on-off-dist/--on-off-shape need "
+                     "--on-off\n");
+        usage();
+    }
+    if (cfg.traffic.scenario.onOff.enabled &&
+        (cfg.traffic.scenario.onOff.onMean <= 0 ||
+         cfg.traffic.scenario.onOff.offMean < 0 ||
+         (cfg.traffic.scenario.onOff.dist == OnOffDist::Pareto &&
+          cfg.traffic.scenario.onOff.paretoShape <= 1.0))) {
+        std::fprintf(stderr,
+                     "--on-us must be > 0, --off-us >= 0, and the pareto "
+                     "shape > 1\n");
+        usage();
+    }
     if (unsched > 0) cfg.proto.homa.unschedPriorities = unsched;
     if (sched > 0) {
         cfg.proto.homa.logicalPriorities =
@@ -158,18 +229,33 @@ int main(int argc, char** argv) {
     }
 
     const SizeDistribution& dist = workload(cfg.traffic.workload);
-    // Trace replay ignores --load (the schedule sets the rate itself).
+    // Trace replay and closed loop ignore --load (the schedule or the
+    // window sets the rate itself).
     std::string loadStr = "load n/a (trace-driven)";
-    if (cfg.traffic.scenario.kind != TrafficPatternKind::TraceReplay) {
+    if (cfg.traffic.scenario.kind == TrafficPatternKind::ClosedLoop) {
+        loadStr = "load n/a (closed loop, W=";
+        loadStr += std::to_string(cfg.traffic.scenario.closedLoopWindow);
+        loadStr += ')';
+    } else if (cfg.traffic.scenario.kind != TrafficPatternKind::TraceReplay) {
         loadStr = "load ";
         loadStr += std::to_string(static_cast<int>(100 * cfg.traffic.load));
         loadStr += '%';
+    }
+    std::string patternStr = patternName(cfg.traffic.scenario.kind);
+    if (cfg.traffic.scenario.onOff.enabled) {
+        char onOffStr[80];
+        std::snprintf(onOffStr, sizeof(onOffStr),
+                      "+on-off(%s %.0f/%.0f us)",
+                      onOffDistName(cfg.traffic.scenario.onOff.dist),
+                      toMicros(cfg.traffic.scenario.onOff.onMean),
+                      toMicros(cfg.traffic.scenario.onOff.offMean));
+        patternStr += onOffStr;
     }
     std::printf(
         "%s on %s, %s, pattern %s, %s, window %.0f ms, seed %llu\n\n",
         protocolName(cfg.proto.kind),
         cfg.net.singleRack() ? "16-host rack" : "144-host fat-tree",
-        dist.name().c_str(), patternName(cfg.traffic.scenario.kind),
+        dist.name().c_str(), patternStr.c_str(),
         loadStr.c_str(), toSeconds(cfg.traffic.stop) * 1e3,
         static_cast<unsigned long long>(cfg.traffic.seed));
 
@@ -204,5 +290,21 @@ int main(int argc, char** argv) {
         std::printf("P%d=%.1f ", p, 100 * r.prioUsage[p]);
     }
     std::printf("\n");
+    if (r.closedLoop) {
+        const ClosedLoopTracker& cl = *r.closedLoop;
+        std::printf(
+            "closed loop: %llu ops in window (%.0f ops/s, %.2f Gbps), "
+            "peak outstanding %d/%d\n",
+            static_cast<unsigned long long>(cl.totalCompleted()),
+            cl.aggregateOpsPerSec(), cl.aggregateGbps(), r.maxOutstanding,
+            cfg.traffic.scenario.closedLoopWindow);
+        std::printf(
+            "  per-client ops: min %llu / max %llu;   latency (us): "
+            "p50 %.1f, p99 %.1f, mean %.1f\n",
+            static_cast<unsigned long long>(cl.minClientCompleted()),
+            static_cast<unsigned long long>(cl.maxClientCompleted()),
+            cl.latencyPercentileUs(0.50), cl.latencyPercentileUs(0.99),
+            cl.latencyMeanUs());
+    }
     return 0;
 }

@@ -133,9 +133,24 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         if (m.created >= windowStart) inWindowGenerated++;
     });
 
+    const bool closedLoop =
+        cfg.traffic.scenario.kind == TrafficPatternKind::ClosedLoop;
+    if (closedLoop) {
+        result.closedLoop = std::make_unique<ClosedLoopTracker>(
+            net.hostCount(), windowStart, genStop);
+    }
+
     net.setDeliveryCallback([&](const Message& m, const DeliveryInfo& info) {
         result.deliveredTotal++;
         deliveredBytesAll += m.length;
+        // Closed loop: every delivery frees a window slot, warm-up and
+        // drain included (the loop must keep turning outside the window).
+        gen.onDelivered(m);
+        if (result.closedLoop) {
+            result.closedLoop->record(m.src, m.length,
+                                      info.completed - m.created,
+                                      info.completed);
+        }
         if (m.created < windowStart || m.created >= genStop) return;
         inWindowDelivered++;
         const bool intraRack = net.rackOf(m.src) == net.rackOf(m.dst);
@@ -182,6 +197,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
 
     result.generated = inWindowGenerated;
     result.delivered = inWindowDelivered;
+    result.maxOutstanding = gen.maxOutstanding();
     result.wastedBandwidth = probe.wastedFraction();
 
     const Time window = genStop - windowStart;
@@ -234,7 +250,12 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         std::max(0.08 * offeredInWindow,
                  3.0 * static_cast<double>(messageWireBytes(dist.maxSize()))) +
         heavyAllowance;
+    // Closed loop bounds the backlog by construction (at most window
+    // messages per host in flight), and `load` — which the offered-load
+    // arithmetic above leans on — is ignored; only the delivery criterion
+    // below applies.
     const bool backlogStable =
+        closedLoop ||
         static_cast<double>(backlogEnd - backlogStart) <= backlogTolerance;
     result.keptUp =
         backlogStable && inWindowGenerated > 0 &&

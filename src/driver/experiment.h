@@ -13,6 +13,7 @@
 #include "baselines/streaming.h"
 #include "core/homa_transport.h"
 #include "driver/oracle.h"
+#include "stats/closed_loop.h"
 #include "stats/counters.h"
 #include "stats/slowdown.h"
 #include "workload/generator.h"
@@ -79,6 +80,13 @@ struct ExperimentResult {
     std::array<double, kPriorityLevels> prioUsage{};  // Figure 21
     uint64_t switchDrops = 0;
     uint64_t switchTrims = 0;
+
+    /// Closed-loop scenarios only (null otherwise): per-source-host
+    /// throughput and message-latency percentiles in the window.
+    std::unique_ptr<ClosedLoopTracker> closedLoop;
+    /// Closed-loop scenarios only: peak per-host outstanding count the
+    /// generator observed (never exceeds the configured window).
+    int maxOutstanding = 0;
 
     /// True when the protocol kept up with the offered load: the backlog
     /// of undelivered messages at the end of generation is bounded.

@@ -32,6 +32,7 @@ RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
 
     const int servers = net.hostCount() - cfg.clients;
     assert(servers > 0);
+    const bool closedLoop = cfg.closedLoopWindow > 0;
     Rng master(cfg.seed);
     uint64_t issuedInWindow = 0;
     uint64_t completedInWindow = 0;
@@ -42,8 +43,43 @@ RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
     };
     std::vector<ClientState> clients;
     for (int c = 0; c < cfg.clients; c++) clients.emplace_back(master.fork());
+    // Modulator seeds draw from the master stream after the client forks,
+    // so enabling ON-OFF never perturbs the per-client RPC streams.
+    std::vector<OnOffModulator> mods;
+    if (cfg.onOff.enabled) {
+        mods.reserve(cfg.clients);
+        for (int c = 0; c < cfg.clients; c++) {
+            mods.emplace_back(cfg.onOff, /*start=*/0, master.next());
+        }
+    }
+    result.perClient = std::make_unique<ClosedLoopTracker>(
+        cfg.clients, windowStart, cfg.stop);
 
-    std::function<void(int)> issueNext = [&](int c) {
+    auto thinkGap = [&](ClientState& st) -> Duration {
+        if (cfg.thinkTime <= 0) return 1;
+        return exponentialDuration(st.rng, toSeconds(cfg.thinkTime));
+    };
+    // Open loop + ON-OFF: Poisson on the client's ON-time clock at rate
+    // base/duty, mapped to wall clock by the modulator.
+    auto onClockDelay = [&](ClientState& st) {
+        return exponentialDuration(
+            st.rng, toSeconds(meanGap) * cfg.onOff.dutyCycle());
+    };
+
+    std::function<void(int)> issueNext;  // issue one RPC now (past gating)
+    // Closed-loop issue point: waits out an OFF period before issuing.
+    std::function<void(int)> issueGated = [&](int c) {
+        if (net.loop().now() >= cfg.stop) return;
+        if (!mods.empty()) {
+            const Time go = mods[c].gate(net.loop().now());
+            if (go > net.loop().now()) {
+                net.loop().at(go, [&, c] { issueGated(c); });
+                return;
+            }
+        }
+        issueNext(c);
+    };
+    issueNext = [&](int c) {
         if (net.loop().now() >= cfg.stop) return;
         ClientState& st = clients[c];
         const uint32_t size = dist.sample(st.rng);
@@ -52,23 +88,52 @@ RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
         const Time issuedAt = net.loop().now();
         const bool inWindow = issuedAt >= windowStart;
         if (inWindow) issuedInWindow++;
-        endpoints[c]->call(server, size,
-                           [&, inWindow](RpcId, uint32_t reqSize, uint32_t,
-                                         Duration elapsed) {
-                               if (!inWindow) return;
-                               completedInWindow++;
-                               result.slowdown->record(reqSize, elapsed);
-                           });
-        const Duration gap = static_cast<Duration>(
-            st.rng.exponential(toSeconds(meanGap)) *
-            static_cast<double>(kSecond));
-        net.loop().after(std::max<Duration>(1, gap), [&, c] { issueNext(c); });
+        endpoints[c]->call(
+            server, size,
+            [&, c, inWindow](RpcId, uint32_t reqSize, uint32_t respSize,
+                             Duration elapsed) {
+                result.perClient->record(c, reqSize + respSize, elapsed,
+                                         net.loop().now());
+                if (inWindow) {
+                    completedInWindow++;
+                    result.slowdown->record(reqSize, elapsed);
+                }
+                if (closedLoop) {
+                    // Refill the freed slot after the think time. (An RPC
+                    // abort would leak a slot, but an abort takes ~500 ms
+                    // of backed-off retries — beyond these runs.)
+                    net.loop().after(thinkGap(clients[c]),
+                                     [&, c] { issueGated(c); });
+                }
+            });
+        if (closedLoop) return;  // the response callback drives the loop
+        if (!mods.empty()) {
+            net.loop().at(mods[c].advance(onClockDelay(st)),
+                          [&, c] { issueNext(c); });
+            return;
+        }
+        const Duration gap = exponentialDuration(st.rng, toSeconds(meanGap));
+        net.loop().after(gap, [&, c] { issueNext(c); });
     };
     for (int c = 0; c < cfg.clients; c++) {
-        const Duration phase = static_cast<Duration>(
-            clients[c].rng.exponential(toSeconds(meanGap)) *
-            static_cast<double>(kSecond));
-        net.loop().at(phase, [&, c] { issueNext(c); });
+        if (closedLoop) {
+            // Prime the window; a small stagger keeps clients * W calls
+            // from firing in lockstep at t=0 (ON-OFF gating then pushes
+            // gated slots to each client's first burst).
+            for (int w = 0; w < cfg.closedLoopWindow; w++) {
+                const Duration jitter = static_cast<Duration>(
+                    clients[c].rng.uniform() *
+                    static_cast<double>(microseconds(5)));
+                net.loop().at(jitter, [&, c] { issueGated(c); });
+            }
+        } else if (!mods.empty()) {
+            net.loop().at(mods[c].advance(onClockDelay(clients[c])),
+                          [&, c] { issueNext(c); });
+        } else {
+            const Duration phase =
+                exponentialDuration(clients[c].rng, toSeconds(meanGap));
+            net.loop().at(phase, [&, c] { issueNext(c); });
+        }
     }
 
     net.loop().runUntil(cfg.stop + cfg.drainGrace);

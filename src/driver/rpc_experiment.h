@@ -2,9 +2,16 @@
 //
 // Mirrors the paper's CloudLab setup: a single-switch cluster where client
 // hosts issue echo RPCs (send `size` bytes, the server returns them) to
-// random servers, with Poisson arrivals calibrated to a target load and
-// RPC sizes drawn from a workload. Slowdown is measured against the
-// best-case RPC time on an unloaded network.
+// random servers, with RPC sizes drawn from a workload. Slowdown is
+// measured against the best-case RPC time on an unloaded network.
+//
+// Two issue modes: open loop (the default — Poisson arrivals calibrated
+// to `load`) and closed loop (`closedLoopWindow` > 0 — each client keeps
+// that many RPCs in flight and issues the next only when a response
+// returns, after an optional think time). Either mode composes with
+// ON-OFF burst/idle modulation (`onOff`): open-loop arrivals run on the
+// client's ON-time clock at a boosted rate, closed-loop clients pause
+// issuing during idle periods and refill their window at burst start.
 #pragma once
 
 #include <memory>
@@ -19,12 +26,19 @@ struct RpcExperimentConfig {
     NetworkConfig net = NetworkConfig::singleRack16();
     ProtocolConfig proto;
     WorkloadId workload = WorkloadId::W3;
-    double load = 0.8;
+    double load = 0.8;  // open loop only; closed loop sets its own rate
     uint64_t seed = 17;
     Time stop = milliseconds(20);
     double warmupFraction = 0.2;
     Duration drainGrace = milliseconds(30);
     int clients = 8;  // hosts [0, clients) are clients, the rest servers
+
+    /// Closed-loop mode when > 0: RPCs each client keeps outstanding.
+    int closedLoopWindow = 0;
+    /// Closed loop: mean exponential think time before the next request.
+    Duration thinkTime = 0;
+    /// ON-OFF burst/idle modulation of request issue (both modes).
+    OnOffConfig onOff;
 };
 
 struct RpcExperimentResult {
@@ -33,6 +47,8 @@ struct RpcExperimentResult {
     uint64_t retries = 0;
     uint64_t reexecutions = 0;
     std::unique_ptr<SlowdownTracker> slowdown;  // vs best echo RPC time
+    /// Per-client in-window throughput and RPC latency percentiles.
+    std::unique_ptr<ClosedLoopTracker> perClient;
     bool keptUp = false;
 };
 

@@ -99,6 +99,16 @@ std::string resultFingerprint(const ExperimentResult& r) {
     appendInt(s, "drops", r.switchDrops);
     appendInt(s, "trims", r.switchTrims);
     appendInt(s, "keptUp", r.keptUp ? 1 : 0);
+    if (r.closedLoop) {
+        appendInt(s, "clMaxOutstanding", static_cast<uint64_t>(r.maxOutstanding));
+        appendInt(s, "clCompleted", r.closedLoop->totalCompleted());
+        appendInt(s, "clMaxClient", r.closedLoop->maxClientCompleted());
+        appendInt(s, "clMinClient", r.closedLoop->minClientCompleted());
+        appendNum(s, "clOpsPerSec", r.closedLoop->aggregateOpsPerSec());
+        appendNum(s, "clGbps", r.closedLoop->aggregateGbps());
+        appendNum(s, "clLatP50", r.closedLoop->latencyPercentileUs(0.50));
+        appendNum(s, "clLatP99", r.closedLoop->latencyPercentileUs(0.99));
+    }
     if (r.slowdown) {
         appendNum(s, "p50", r.slowdown->overallPercentile(0.50));
         appendNum(s, "p99", r.slowdown->overallPercentile(0.99));

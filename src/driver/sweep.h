@@ -45,10 +45,14 @@ struct SweepOutcome {
     int threadsUsed = 1;
 };
 
+/// Fans a vector of experiment points across a thread pool; results are
+/// byte-identical whatever the thread count (see the file comment for the
+/// contract that makes this trustworthy).
 class SweepRunner {
 public:
     explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
 
+    /// Run every point; results[i] always corresponds to points[i].
     SweepOutcome run(std::vector<ExperimentConfig> points) const;
 
 private:

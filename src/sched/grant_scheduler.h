@@ -34,13 +34,17 @@
 
 namespace homa {
 
+/// Selects the receiver's grant-ordering policy (see the policy catalog
+/// in the file comment). Plumbed through HomaConfig::grantPolicy and the
+/// --grant-policy flag of example_run_experiment.
 enum class GrantPolicy : uint8_t {
-    Srpt,
-    Fifo,
-    RoundRobin,
-    Unlimited,
+    Srpt,        ///< the paper's receiver: shortest remaining bytes first
+    Fifo,        ///< active set in arrival order (ordering ablation)
+    RoundRobin,  ///< fair rotation of the active-set window
+    Unlimited,   ///< grant everyone (basic-transport strawman), O(1)
 };
 
+/// Returns "srpt", "fifo", "rr", or "unlimited".
 const char* grantPolicyName(GrantPolicy p);
 
 /// Lowest-available-level assignment for the scheduled active set
@@ -82,7 +86,9 @@ public:
     /// Message no longer needs grants (fully granted, complete, aborted).
     virtual void remove(MsgId id) = 0;
 
+    /// True while `id` is tracked (added and not yet removed).
     virtual bool contains(MsgId id) const = 0;
+    /// Number of tracked messages.
     virtual size_t size() const = 0;
 
     /// Fill `out` (cleared first) with the grants to (re)issue after the
@@ -96,6 +102,9 @@ public:
     virtual int withheld() const = 0;
 };
 
+/// Builds the scheduler implementing `policy` (see src/sched/
+/// grant_scheduler.cc for the policy classes and docs/ARCHITECTURE.md
+/// "Adding a scheduling policy" for the extension recipe).
 std::unique_ptr<GrantScheduler> makeGrantScheduler(GrantPolicy policy);
 
 }  // namespace homa

@@ -48,6 +48,8 @@ public:
     PriorityAllocator() = default;
     explicit PriorityAllocator(PriorityAllocation a) : alloc_(std::move(a)) {}
 
+    /// The current allocation (replaced wholesale by setAllocation when
+    /// the online TrafficMeter recomputes the split).
     const PriorityAllocation& allocation() const { return alloc_; }
     PriorityAllocation& allocation() { return alloc_; }
     void setAllocation(PriorityAllocation a) { alloc_ = std::move(a); }
@@ -66,6 +68,7 @@ public:
         return scheduledLevelFor(rank, activeCount, alloc_.schedLevels);
     }
 
+    /// Highest logical level a scheduled (granted) message can use.
     int topScheduledLevel() const { return alloc_.schedLevels - 1; }
 
 private:
@@ -85,7 +88,9 @@ class TrafficMeter {
 public:
     explicit TrafficMeter(size_t reservoirSize = 4096, uint64_t seed = 7);
 
+    /// Feed one observed inbound message size (reservoir-sampled).
     void recordMessage(uint32_t length);
+    /// Total messages observed so far (not just those in the reservoir).
     size_t observed() const { return observed_; }
 
     /// Allocation from the measured sizes; falls back to `fallback` until

@@ -14,6 +14,10 @@
 
 namespace homa {
 
+/// O(1) fair-rotation membership ring: insert/erase/next are all
+/// constant-time, and the rotation cursor survives arbitrary membership
+/// churn. Used by the NDP pull pacer, the PIAS sender, and the
+/// RoundRobin grant policy.
 template <typename Id>
 class RoundRobinSet {
 public:
@@ -38,6 +42,8 @@ public:
         return true;
     }
 
+    /// Remove `id`; the cursor slides to its successor when it pointed
+    /// here. Returns false when `id` was not a member.
     bool erase(Id id) {
         auto it = nodes_.find(id);
         if (it == nodes_.end()) return false;
@@ -54,7 +60,9 @@ public:
         return true;
     }
 
+    /// True while `id` is a member.
     bool contains(Id id) const { return nodes_.count(id) != 0; }
+    /// Number of members on the ring.
     size_t size() const { return nodes_.size(); }
     bool empty() const { return nodes_.empty(); }
 

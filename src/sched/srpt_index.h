@@ -15,6 +15,9 @@
 
 namespace homa {
 
+/// Ordered (remaining-bytes, id) index with O(log n) upsert/erase and a
+/// bounded in-order walk; the building block behind every SRPT decision
+/// (grant scheduler active set, sender packet choice, pHost grantees).
 template <typename Id>
 class SrptIndex {
 public:
@@ -36,6 +39,7 @@ public:
         return false;
     }
 
+    /// Remove `id`; returns false when it was not in the index.
     bool erase(Id id) {
         auto it = keys_.find(id);
         if (it == keys_.end()) return false;
@@ -44,7 +48,9 @@ public:
         return true;
     }
 
+    /// True while `id` is indexed.
     bool contains(Id id) const { return keys_.count(id) != 0; }
+    /// Number of indexed entries.
     size_t size() const { return keys_.size(); }
     bool empty() const { return keys_.empty(); }
 

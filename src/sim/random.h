@@ -5,8 +5,11 @@
 // implementations; experiments must replay bit-for-bit from a seed.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+
+#include "sim/time.h"
 
 namespace homa {
 
@@ -52,5 +55,15 @@ public:
 private:
     std::array<uint64_t, 4> s_{};
 };
+
+/// Exponentially distributed Duration with mean `meanSeconds`, clamped to
+/// at least 1 ps (event-loop deltas must move time forward). The arrival
+/// gap / think-time / ON-clock draw shared by the traffic generator and
+/// the RPC harness.
+inline Duration exponentialDuration(Rng& rng, double meanSeconds) {
+    return std::max<Duration>(
+        1, static_cast<Duration>(rng.exponential(meanSeconds) *
+                                 static_cast<double>(kSecond)));
+}
 
 }  // namespace homa

@@ -1,0 +1,71 @@
+#include "stats/closed_loop.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+ClosedLoopTracker::ClosedLoopTracker(int clients, Time windowStart,
+                                     Time windowEnd)
+    : windowStart_(windowStart),
+      windowEnd_(windowEnd),
+      completed_(clients, 0),
+      bytes_(clients, 0) {
+    assert(clients > 0 && windowEnd > windowStart);
+}
+
+void ClosedLoopTracker::record(int client, int64_t bytes, Duration elapsed,
+                               Time completedAt) {
+    assert(client >= 0 && client < clients());
+    if (completedAt < windowStart_ || completedAt >= windowEnd_) return;
+    completed_[client]++;
+    bytes_[client] += bytes;
+    latency_.add(toMicros(elapsed));
+}
+
+double ClosedLoopTracker::windowSeconds() const {
+    return toSeconds(windowEnd_ - windowStart_);
+}
+
+ClosedLoopTracker::ClientRow ClosedLoopTracker::client(int c) const {
+    assert(c >= 0 && c < clients());
+    ClientRow row;
+    row.completed = completed_[c];
+    row.opsPerSec = static_cast<double>(completed_[c]) / windowSeconds();
+    row.gbps = static_cast<double>(bytes_[c]) * 8.0 / (windowSeconds() * 1e9);
+    return row;
+}
+
+uint64_t ClosedLoopTracker::totalCompleted() const {
+    uint64_t total = 0;
+    for (uint64_t c : completed_) total += c;
+    return total;
+}
+
+double ClosedLoopTracker::aggregateOpsPerSec() const {
+    return static_cast<double>(totalCompleted()) / windowSeconds();
+}
+
+double ClosedLoopTracker::aggregateGbps() const {
+    int64_t total = 0;
+    for (int64_t b : bytes_) total += b;
+    return static_cast<double>(total) * 8.0 / (windowSeconds() * 1e9);
+}
+
+uint64_t ClosedLoopTracker::maxClientCompleted() const {
+    return *std::max_element(completed_.begin(), completed_.end());
+}
+
+uint64_t ClosedLoopTracker::minClientCompleted() const {
+    return *std::min_element(completed_.begin(), completed_.end());
+}
+
+double ClosedLoopTracker::latencyPercentileUs(double p) const {
+    return latency_.percentile(p);
+}
+
+double ClosedLoopTracker::latencyMeanUs() const {
+    return latency_.empty() ? 0 : latency_.mean();
+}
+
+}  // namespace homa

@@ -1,14 +1,24 @@
-// Open-loop traffic generation (§5.2 methodology), scenario-aware.
+// Traffic generation (§5.2 methodology), scenario-aware.
 //
-// For Poisson scenarios, each host creates new one-way messages according
-// to a Poisson process; sizes come from the chosen workload; destinations
-// and per-host rate weights come from the scenario's `TrafficPattern`
-// (uniform by default). The arrival rates are calibrated so the aggregate
-// offered load is the requested fraction of total host-link bandwidth,
-// counting on-the-wire bytes of goodput data packets (payload + headers +
-// framing) — weights are normalized, so the aggregate is
-// pattern-independent. A TraceReplay scenario bypasses the Poisson process
-// and replays an explicit (time, src, dst, size) schedule.
+// Three arrival modes, selected by the scenario:
+//  * Open loop (the paper): each host creates one-way messages according
+//    to a Poisson process; sizes come from the chosen workload;
+//    destinations and per-host rate weights come from the scenario's
+//    `TrafficPattern` (uniform by default). Arrival rates are calibrated
+//    so the aggregate offered load is the requested fraction of total
+//    host-link bandwidth, counting on-the-wire bytes — weights are
+//    normalized, so the aggregate is pattern-independent. With
+//    `ScenarioConfig::onOff` enabled, each host's Poisson process runs on
+//    its ON-time clock at rate base/dutyCycle: bursts transmit well above
+//    the average rate, idle periods are silent, and the long-run offered
+//    load stays calibrated.
+//  * Closed loop (`TrafficPatternKind::ClosedLoop`): each host keeps a
+//    window of `closedLoopWindow` messages outstanding and issues the
+//    next one only when the driver reports a delivery via `onDelivered()`
+//    (optional exponential think time; ON-OFF gates issue times). Offered
+//    load is endogenous — `TrafficConfig::load` is ignored.
+//  * Trace replay: bypasses the Poisson process and replays an explicit
+//    (time, src, dst, size) schedule.
 #pragma once
 
 #include <functional>
@@ -37,17 +47,33 @@ public:
     /// Schedule the generation processes on the network's event loop.
     void start();
 
+    /// Closed-loop feed: the driver calls this for every delivered
+    /// message (a no-op in open-loop and trace modes). The source host's
+    /// window frees a slot and, before `stop`, the next message is issued
+    /// after the optional think time (and ON-OFF gating).
+    void onDelivered(const Message& m);
+
     uint64_t generatedMessages() const { return generated_; }
     int64_t generatedBytes() const { return generatedBytes_; }
 
-    /// Mean interarrival time for a weight-1 host (0 for trace replay).
+    /// Mean interarrival time for a weight-1 host (0 for trace replay and
+    /// closed loop).
     Duration meanInterarrival() const { return meanGap_; }
+
+    /// Closed loop: the highest outstanding count any host ever reached
+    /// (never exceeds `closedLoopWindow` — tested invariant). 0 otherwise.
+    int maxOutstanding() const { return maxOutstanding_; }
 
     /// The scenario's pattern (null for trace replay).
     const TrafficPattern* pattern() const { return pattern_.get(); }
 
 private:
-    void scheduleNext(HostId h);
+    bool closedLoop() const {
+        return cfg_.scenario.kind == TrafficPatternKind::ClosedLoop;
+    }
+    void scheduleNext(HostId h);           // open loop, unmodulated
+    void scheduleNextModulated(HostId h);  // open loop, ON-OFF
+    void issueClosedLoop(HostId h);        // closed loop (applies gating)
     void emit(Message m);
 
     Network& net_;
@@ -59,6 +85,9 @@ private:
     std::vector<TraceRecord> trace_;
     Duration meanGap_ = 0;
     std::vector<Rng> rngs_;  // one independent stream per host
+    std::vector<OnOffModulator> onoff_;  // one per host when enabled
+    std::vector<int> outstanding_;       // closed loop: in-flight per host
+    int maxOutstanding_ = 0;
     uint64_t generated_ = 0;
     int64_t generatedBytes_ = 0;
 };

@@ -18,6 +18,7 @@ const char* patternName(TrafficPatternKind kind) {
         case TrafficPatternKind::Incast: return "incast";
         case TrafficPatternKind::ParetoSenders: return "pareto";
         case TrafficPatternKind::TraceReplay: return "trace";
+        case TrafficPatternKind::ClosedLoop: return "closed-loop";
     }
     return "?";
 }
@@ -26,13 +27,103 @@ bool patternFromName(const std::string& name, TrafficPatternKind& out) {
     for (TrafficPatternKind k :
          {TrafficPatternKind::Uniform, TrafficPatternKind::Permutation,
           TrafficPatternKind::RackSkew, TrafficPatternKind::Incast,
-          TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay}) {
+          TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay,
+          TrafficPatternKind::ClosedLoop}) {
         if (name == patternName(k)) {
             out = k;
             return true;
         }
     }
     return false;
+}
+
+const char* onOffDistName(OnOffDist d) {
+    switch (d) {
+        case OnOffDist::Exponential: return "exp";
+        case OnOffDist::Pareto: return "pareto";
+    }
+    return "?";
+}
+
+bool onOffDistFromName(const std::string& name, OnOffDist& out) {
+    for (OnOffDist d : {OnOffDist::Exponential, OnOffDist::Pareto}) {
+        if (name == onOffDistName(d)) {
+            out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out) {
+    std::string pattern = spec;
+    bool onOff = false;
+    const size_t plus = spec.find('+');
+    if (plus != std::string::npos) {
+        if (spec.substr(plus + 1) != "on-off") return false;
+        pattern = spec.substr(0, plus);
+        onOff = true;
+    }
+    ScenarioConfig parsed;
+    if (!patternFromName(pattern, parsed.kind)) return false;
+    parsed.onOff.enabled = onOff;
+    out = parsed;
+    return true;
+}
+
+OnOffModulator::OnOffModulator(const OnOffConfig& cfg, Time start,
+                               uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+    assert(cfg_.onMean > 0 && cfg_.offMean >= 0);
+    assert(cfg_.dist != OnOffDist::Pareto || cfg_.paretoShape > 1.0);
+    // Stationary initial phase: ON with probability dutyCycle, and the
+    // residual period life re-sampled from the full-period distribution
+    // (exact for exponential periods, by memorylessness).
+    on_ = rng_.chance(cfg_.dutyCycle());
+    periodEnd_ = start + samplePeriod(on_);
+    cursor_ = start;
+}
+
+Duration OnOffModulator::samplePeriod(bool on) {
+    const double mean = toSeconds(on ? cfg_.onMean : cfg_.offMean);
+    double seconds;
+    if (cfg_.dist == OnOffDist::Exponential) {
+        seconds = rng_.exponential(mean);
+    } else {
+        // Pareto with mean `mean` and shape a: scale xm = mean*(a-1)/a,
+        // sample xm * u^(-1/a) with u uniform in (0, 1].
+        const double a = cfg_.paretoShape;
+        const double xm = mean * (a - 1.0) / a;
+        const double u = 1.0 - rng_.uniform();  // (0, 1]
+        seconds = xm * std::pow(u, -1.0 / a);
+    }
+    return std::max<Duration>(
+        1, static_cast<Duration>(seconds * static_cast<double>(kSecond)));
+}
+
+Time OnOffModulator::advance(Duration onDelay) {
+    for (;;) {
+        if (on_) {
+            const Duration available = periodEnd_ - cursor_;
+            if (onDelay < available) {
+                cursor_ += onDelay;
+                return cursor_;
+            }
+            onDelay -= available;
+        }
+        // Burst exhausted (or currently idle): skip to the next period.
+        cursor_ = periodEnd_;
+        on_ = !on_;
+        periodEnd_ = cursor_ + samplePeriod(on_);
+    }
+}
+
+Time OnOffModulator::gate(Time now) {
+    while (periodEnd_ <= now) {
+        on_ = !on_;
+        periodEnd_ += samplePeriod(on_);
+    }
+    return on_ ? now : periodEnd_;
 }
 
 namespace {
@@ -181,6 +272,23 @@ private:
     std::vector<double> weight_;
 };
 
+// Closed-loop clients pick servers uniformly (the §5.1 client/server echo
+// setup); the arrival process — window refill on delivery — lives in
+// TrafficGenerator, which keys off kind() == ClosedLoop.
+class ClosedLoopPattern final : public TrafficPattern {
+public:
+    explicit ClosedLoopPattern(int hostCount) : hosts_(hostCount) {}
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::ClosedLoop;
+    }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        return uniformDst(src, hosts_, rng);
+    }
+
+private:
+    int hosts_;
+};
+
 }  // namespace
 
 std::vector<TraceRecord> parseTrace(const std::string& text, int hostCount) {
@@ -252,6 +360,8 @@ std::unique_ptr<TrafficPattern> makeTrafficPattern(const ScenarioConfig& cfg,
         case TrafficPatternKind::ParetoSenders:
             return std::make_unique<ParetoSendersPattern>(
                 hostCount, cfg.paretoAlpha, seed);
+        case TrafficPatternKind::ClosedLoop:
+            return std::make_unique<ClosedLoopPattern>(hostCount);
         case TrafficPatternKind::TraceReplay:
             break;
     }

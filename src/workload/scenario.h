@@ -30,12 +30,46 @@ enum class TrafficPatternKind {
     Incast,         // N-to-1 fan-in groups aimed at a few hot receivers
     ParetoSenders,  // sender popularity ~ rank^-alpha, destinations uniform
     TraceReplay,    // explicit (time, src, dst, size) schedule from text
+    ClosedLoop,     // W outstanding messages per host; next issues on delivery
 };
 
+/// Returns the canonical name of a pattern ("uniform", "closed-loop", ...).
 const char* patternName(TrafficPatternKind kind);
 /// Parses a pattern name (as printed by patternName, case-sensitive);
 /// returns false and leaves `out` untouched on unknown names.
 bool patternFromName(const std::string& name, TrafficPatternKind& out);
+
+/// Distribution family for ON-OFF burst/idle period durations.
+enum class OnOffDist {
+    Exponential,  // memoryless periods (classic interrupted Poisson process)
+    Pareto,       // heavy-tailed periods (self-similar traffic, shape > 1)
+};
+
+/// Returns "exp" or "pareto".
+const char* onOffDistName(OnOffDist d);
+/// Parses an ON-OFF distribution name; false on unknown names.
+bool onOffDistFromName(const std::string& name, OnOffDist& out);
+
+/// Bursty arrival modulation, composable with every Poisson pattern and
+/// with closed-loop clients. Each host alternates independent ON (burst)
+/// and OFF (idle) periods. Poisson patterns run their arrival process on
+/// the host's ON-time clock with the rate boosted by 1/dutyCycle, so the
+/// *average* offered load stays calibrated to TrafficConfig::load while
+/// bursts transmit well above it. Closed-loop clients simply pause issuing
+/// during OFF periods and refill their window when the burst starts.
+struct OnOffConfig {
+    bool enabled = false;
+    Duration onMean = microseconds(100);   // mean burst duration
+    Duration offMean = microseconds(300);  // mean idle duration
+    OnOffDist dist = OnOffDist::Exponential;
+    double paretoShape = 1.5;  // Pareto period shape (must be > 1)
+
+    /// Long-run fraction of time a host spends in a burst.
+    double dutyCycle() const {
+        return static_cast<double>(onMean) /
+               static_cast<double>(onMean + offMean);
+    }
+};
 
 struct ScenarioConfig {
     TrafficPatternKind kind = TrafficPatternKind::Uniform;
@@ -61,7 +95,24 @@ struct ScenarioConfig {
     // over `tracePath`; times are offsets from the generator's start time.
     std::string tracePath;
     std::string traceText;
+
+    // ClosedLoop: each host keeps `closedLoopWindow` messages outstanding
+    // (destinations uniform) and issues the next one only when a previous
+    // delivery completes, after an optional exponential think time with
+    // mean `thinkTime`. The offered load is endogenous — `load` is ignored.
+    int closedLoopWindow = 4;
+    Duration thinkTime = 0;
+
+    // ON-OFF burst/idle modulation; composes with every pattern above
+    // except TraceReplay (which carries its own explicit timing).
+    OnOffConfig onOff;
 };
+
+/// Parses a scenario spec of the form "<pattern>" or "<pattern>+on-off"
+/// (e.g. "incast+on-off"), leaving all knobs at their defaults. Returns
+/// false and leaves `out` untouched on malformed specs. This is the syntax
+/// the figure benches accept via HOMA_SCENARIO.
+bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out);
 
 /// One trace-replay record; `at` is an offset from TrafficConfig::start.
 struct TraceRecord {
@@ -77,6 +128,42 @@ std::vector<TraceRecord> parseTrace(const std::string& text,
                                     int hostCount = 0);
 std::vector<TraceRecord> loadTraceFile(const std::string& path,
                                        int hostCount = 0);
+
+/// Per-host ON-OFF state machine: a lazily generated alternating sequence
+/// of burst and idle periods, deterministic given (config, seed).
+///
+/// Two query styles, one per arrival mode (a given host uses exactly one):
+///  * `advance(onDelay)` — Poisson mode. Maps a delay measured on the
+///    host's ON-time clock to the wall-clock instant reached, starting
+///    from the previous arrival. Running the arrival process on the
+///    ON-clock (at rate base/dutyCycle) keeps the long-run rate calibrated.
+///  * `gate(now)` — closed-loop mode. Returns `now` when the host is mid-
+///    burst, else the start of the next burst. Queries must be issued with
+///    non-decreasing `now` (event-loop time, which is monotonic).
+///
+/// The initial phase is sampled from the stationary distribution for
+/// exponential periods (exact, by memorylessness); for Pareto periods the
+/// same draw is an approximation, which a long window amortizes away.
+class OnOffModulator {
+public:
+    OnOffModulator(const OnOffConfig& cfg, Time start, uint64_t seed);
+
+    /// Advance `onDelay` of ON time past the previous mapped instant and
+    /// return the wall-clock time reached (OFF periods are skipped whole).
+    Time advance(Duration onDelay);
+
+    /// `now` when ON at `now`; otherwise the start of the next ON period.
+    Time gate(Time now);
+
+private:
+    Duration samplePeriod(bool on);
+
+    OnOffConfig cfg_;
+    Rng rng_;
+    bool on_;
+    Time periodEnd_;  // wall-clock end of the current period
+    Time cursor_;     // last wall-clock instant mapped by advance()
+};
 
 /// Destination choice and sender rate weighting for Poisson scenarios.
 class TrafficPattern {

@@ -40,6 +40,34 @@ TEST(Determinism, SameSeedIdenticalAcrossProtocolsAndScenarios) {
     }
 }
 
+TEST(Determinism, ClosedLoopAndOnOffReplayByteIdentically) {
+    // The new arrival modes golden-locked like the Poisson ones: the
+    // closed-loop refill chain and the ON-OFF period sequence must replay
+    // bit-for-bit from the seed (fingerprints cover the closed-loop
+    // per-client metrics too), and a different seed must actually move
+    // the results.
+    ExperimentConfig closed = smallConfig(WorkloadId::W1, 0.5);
+    closed.traffic.scenario.kind = TrafficPatternKind::ClosedLoop;
+    closed.traffic.scenario.closedLoopWindow = 4;
+    closed.traffic.scenario.thinkTime = microseconds(2);
+
+    ExperimentConfig bursty = smallConfig(WorkloadId::W2, 0.6);
+    bursty.traffic.scenario.onOff.enabled = true;
+
+    ExperimentConfig both = closed;
+    both.traffic.scenario.onOff.enabled = true;
+
+    for (const ExperimentConfig& cfg : {closed, bursty, both}) {
+        const ExperimentResult a = runExperiment(cfg);
+        EXPECT_GT(a.delivered, 0u);
+        EXPECT_EQ(resultFingerprint(a), resultFingerprint(runExperiment(cfg)));
+        ExperimentConfig reseeded = cfg;
+        reseeded.traffic.seed = cfg.traffic.seed + 1;
+        EXPECT_NE(resultFingerprint(a),
+                  resultFingerprint(runExperiment(reseeded)));
+    }
+}
+
 TEST(Determinism, DifferentSeedsGiveDifferentResults) {
     ExperimentConfig a = smallConfig(WorkloadId::W2, 0.6);
     ExperimentConfig b = a;
@@ -62,6 +90,16 @@ TEST(SweepRunner, ResultsIdenticalAtOneAndManyThreads) {
     ExperimentConfig perm = smallConfig(WorkloadId::W2, 0.6, Protocol::Pias);
     perm.traffic.scenario.kind = TrafficPatternKind::Permutation;
     points.push_back(perm);
+    ExperimentConfig closed = smallConfig(WorkloadId::W1, 0.5);
+    closed.traffic.scenario.kind = TrafficPatternKind::ClosedLoop;
+    closed.traffic.scenario.closedLoopWindow = 4;
+    points.push_back(closed);
+    ExperimentConfig bursty = smallConfig(WorkloadId::W1, 0.6);
+    bursty.traffic.scenario.onOff.enabled = true;
+    points.push_back(bursty);
+    ExperimentConfig burstyClosed = closed;
+    burstyClosed.traffic.scenario.onOff.enabled = true;
+    points.push_back(burstyClosed);
 
     SweepOptions serial;
     serial.threads = 1;

@@ -216,6 +216,113 @@ TEST(TrafficPatterns, ParetoWaterFillingCapsTopSendersAtLineRate) {
     EXPECT_GT(static_cast<double>(bytesBySrc[0]), 0.8 * run.lineBytes);
 }
 
+// --- ON-OFF modulation: bursts, idle periods, calibrated average. ---
+
+TEST(OnOffArrivals, AggregateLoadStaysCalibrated) {
+    // ON at 4x the average rate for ~a quarter of the time: the long-run
+    // offered load must still track the request. Short periods give each
+    // host ~20 cycles in the window, so the duty-cycle estimate averages
+    // out across 144 hosts; the tolerance is looser than the Poisson
+    // patterns' ±2% because period randomness adds variance.
+    ScenarioConfig s = scenarioOf(TrafficPatternKind::Uniform);
+    s.onOff.enabled = true;
+    s.onOff.onMean = microseconds(50);
+    s.onOff.offMean = microseconds(150);
+    const double load = 0.6;
+    GenRun run = generate(s, load, milliseconds(4));
+    ASSERT_GT(run.msgs.size(), 10000u);
+    EXPECT_NEAR(run.offeredFraction, load, 0.05 * load);
+}
+
+TEST(OnOffArrivals, ParetoPeriodsStayRoughlyCalibrated) {
+    ScenarioConfig s = scenarioOf(TrafficPatternKind::Uniform);
+    s.onOff.enabled = true;
+    s.onOff.onMean = microseconds(50);
+    s.onOff.offMean = microseconds(150);
+    s.onOff.dist = OnOffDist::Pareto;
+    s.onOff.paretoShape = 2.5;
+    const double load = 0.6;
+    GenRun run = generate(s, load, milliseconds(4));
+    ASSERT_GT(run.msgs.size(), 10000u);
+    // Heavy-tailed periods converge slower; a 10% band still rejects a
+    // mis-scaled burst rate (which would miss by 4x).
+    EXPECT_NEAR(run.offeredFraction, load, 0.10 * load);
+}
+
+TEST(OnOffArrivals, ComposesWithSkewedPatterns) {
+    // The modulator must not disturb the pattern's traffic matrix: incast
+    // group senders still aim at their hotspot.
+    ScenarioConfig s = scenarioOf(TrafficPatternKind::Incast);
+    s.hotspots = 2;
+    s.hotspotDegree = 16;
+    s.hotspotFraction = 1.0;
+    s.onOff.enabled = true;
+    GenRun run = generate(s, 0.6, milliseconds(2));
+    ASSERT_GT(run.msgs.size(), 1000u);
+    for (const Message& m : run.msgs) {
+        const int i = m.src - s.hotspots;
+        if (m.src >= s.hotspots && i < s.hotspots * s.hotspotDegree) {
+            EXPECT_EQ(m.dst, i % s.hotspots);
+        }
+    }
+}
+
+TEST(OnOffArrivals, ArrivalsAreActuallyBursty) {
+    // A single host's arrival sequence must alternate dense bursts and
+    // long silences: its largest inter-arrival gap dwarfs its mean gap,
+    // unlike the unmodulated Poisson process at the same average rate.
+    ScenarioConfig plain = scenarioOf(TrafficPatternKind::Uniform);
+    ScenarioConfig bursty = plain;
+    bursty.onOff.enabled = true;
+    bursty.onOff.onMean = microseconds(50);
+    bursty.onOff.offMean = microseconds(300);
+    auto maxToMeanGap = [](const GenRun& run) {
+        std::vector<Time> at;
+        for (const Message& m : run.msgs) {
+            if (m.src == 0) at.push_back(m.created);
+        }
+        EXPECT_GT(at.size(), 50u);
+        Duration maxGap = 0;
+        for (size_t i = 1; i < at.size(); i++) {
+            maxGap = std::max(maxGap, at[i] - at[i - 1]);
+        }
+        const double meanGap = toSeconds(at.back() - at.front()) /
+                               static_cast<double>(at.size() - 1);
+        return toSeconds(maxGap) / meanGap;
+    };
+    const double plainRatio = maxToMeanGap(generate(plain, 0.6, milliseconds(4)));
+    const double burstyRatio =
+        maxToMeanGap(generate(bursty, 0.6, milliseconds(4)));
+    EXPECT_GT(burstyRatio, 3.0 * plainRatio);
+}
+
+TEST(OnOffArrivals, SpecParsing) {
+    ScenarioConfig s;
+    ASSERT_TRUE(scenarioFromSpec("incast+on-off", s));
+    EXPECT_EQ(s.kind, TrafficPatternKind::Incast);
+    EXPECT_TRUE(s.onOff.enabled);
+    ASSERT_TRUE(scenarioFromSpec("closed-loop", s));
+    EXPECT_EQ(s.kind, TrafficPatternKind::ClosedLoop);
+    EXPECT_FALSE(s.onOff.enabled);
+    ScenarioConfig untouched;
+    untouched.kind = TrafficPatternKind::RackSkew;
+    EXPECT_FALSE(scenarioFromSpec("bogus+on-off", untouched));
+    EXPECT_FALSE(scenarioFromSpec("uniform+onoff", untouched));
+    EXPECT_FALSE(scenarioFromSpec("", untouched));
+    EXPECT_EQ(untouched.kind, TrafficPatternKind::RackSkew);
+}
+
+TEST(OnOffArrivals, DistNamesRoundTrip) {
+    for (OnOffDist d : {OnOffDist::Exponential, OnOffDist::Pareto}) {
+        OnOffDist parsed;
+        ASSERT_TRUE(onOffDistFromName(onOffDistName(d), parsed));
+        EXPECT_EQ(parsed, d);
+    }
+    OnOffDist unchanged = OnOffDist::Exponential;
+    EXPECT_FALSE(onOffDistFromName("weibull", unchanged));
+    EXPECT_EQ(unchanged, OnOffDist::Exponential);
+}
+
 // --- Trace replay: exact schedule, exact bytes. ---
 
 TEST(TrafficPatterns, TraceReplayFollowsTheSchedule) {
@@ -288,7 +395,8 @@ TEST(TrafficPatterns, PatternNamesRoundTrip) {
     for (TrafficPatternKind kind :
          {TrafficPatternKind::Uniform, TrafficPatternKind::Permutation,
           TrafficPatternKind::RackSkew, TrafficPatternKind::Incast,
-          TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay}) {
+          TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay,
+          TrafficPatternKind::ClosedLoop}) {
         TrafficPatternKind parsed;
         ASSERT_TRUE(patternFromName(patternName(kind), parsed));
         EXPECT_EQ(parsed, kind);

@@ -1,0 +1,132 @@
+// Markdown link checker for the docs tree.
+//
+//   md_link_check <repo-root>
+//
+// Scans every .md file in the repo root and in docs/ for inline links and
+// verifies that relative targets exist on disk (resolved against the
+// linking file's directory; '#fragment' suffixes are stripped). External
+// schemes (http/https/mailto) are only syntax-checked, so the check runs
+// offline and deterministically. Exits 1 listing every broken link.
+// Registered as the `docs_link_check` ctest and run by the CI docs job.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+    std::string target;
+    size_t line;
+};
+
+// Extracts inline-link targets "[text](target)" from one markdown file.
+// Good enough for this docs tree: skips fenced code blocks and inline
+// code spans (per line — an unclosed backtick mutes the rest of its
+// line), handles images and balanced parentheses inside targets,
+// ignores reference-style definitions.
+std::vector<Link> extractLinks(const fs::path& file) {
+    std::vector<Link> links;
+    std::ifstream in(file);
+    std::string line;
+    size_t lineNo = 0;
+    bool inFence = false;
+    while (std::getline(in, line)) {
+        lineNo++;
+        if (line.rfind("```", 0) == 0) {
+            inFence = !inFence;
+            continue;
+        }
+        if (inFence) continue;
+        bool inCode = false;
+        for (size_t i = 0; i < line.size(); i++) {
+            if (line[i] == '`') {
+                inCode = !inCode;
+                continue;
+            }
+            if (inCode || line[i] != ']' || i + 1 >= line.size() ||
+                line[i + 1] != '(') {
+                continue;
+            }
+            // Match the closing ')' with paren counting, so targets like
+            // "file_(v2).md" survive intact.
+            int depth = 1;
+            size_t close = i + 2;
+            for (; close < line.size() && depth > 0; close++) {
+                if (line[close] == '(') depth++;
+                if (line[close] == ')') depth--;
+            }
+            if (depth != 0) continue;  // unterminated: not a link
+            links.push_back({line.substr(i + 2, close - 1 - (i + 2)), lineNo});
+        }
+    }
+    return links;
+}
+
+bool checkFile(const fs::path& file, const fs::path& root) {
+    bool ok = true;
+    for (const Link& link : extractLinks(file)) {
+        std::string target = link.target;
+        const size_t hash = target.find('#');
+        if (hash != std::string::npos) target.erase(hash);
+        if (target.empty()) continue;  // pure fragment: same-file anchor
+        if (target.find("://") != std::string::npos ||
+            target.rfind("mailto:", 0) == 0) {
+            continue;  // external: syntax only
+        }
+        const fs::path resolved =
+            target[0] == '/' ? root / target.substr(1)
+                             : file.parent_path() / target;
+        if (!fs::exists(resolved)) {
+            std::fprintf(stderr, "%s:%zu: broken link -> %s\n",
+                         file.c_str(), link.line, link.target.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: md_link_check <repo-root>\n");
+        return 2;
+    }
+    const fs::path root = argv[1];
+    if (!fs::is_directory(root)) {
+        std::fprintf(stderr, "not a directory: %s\n", root.c_str());
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(root)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".md") {
+            files.push_back(entry.path());
+        }
+    }
+    const fs::path docs = root / "docs";
+    if (fs::is_directory(docs)) {
+        for (const auto& entry : fs::recursive_directory_iterator(docs)) {
+            if (entry.is_regular_file() && entry.path().extension() == ".md") {
+                files.push_back(entry.path());
+            }
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "no markdown files under %s\n", root.c_str());
+        return 2;
+    }
+    bool ok = true;
+    size_t checked = 0;
+    for (const fs::path& f : files) {
+        ok = checkFile(f, root) && ok;
+        checked++;
+    }
+    std::printf("md_link_check: %zu files checked, %s\n", checked,
+                ok ? "all links resolve" : "BROKEN LINKS FOUND");
+    return ok ? 0 : 1;
+}
