@@ -25,7 +25,8 @@ inline bool fullScale() {
 
 /// Scenario override for the figure benches: HOMA_SCENARIO takes a spec
 /// "<pattern>" or "<pattern>+on-off" (uniform|permutation|rack-skew|
-/// incast|pareto|closed-loop); pattern and ON-OFF knobs keep their
+/// incast|pareto|closed-loop|dag); dag also takes parameters
+/// ("dag:fanout=40,depth=2"), every other pattern keeps its
 /// ScenarioConfig defaults. Trace replay needs an explicit schedule, so
 /// it is driven via example_run_experiment --trace instead.
 inline ScenarioConfig scenarioFromEnv() {
@@ -42,12 +43,14 @@ inline ScenarioConfig scenarioFromEnv() {
                      "example_run_experiment --trace FILE\n");
         std::exit(2);
     }
-    if (s.kind == TrafficPatternKind::ClosedLoop) {
-        // Closed loop sets its own rate, so a bench's load axis collapses:
-        // points differing only in load run identical experiments.
+    if (s.kind == TrafficPatternKind::ClosedLoop ||
+        s.kind == TrafficPatternKind::Dag) {
+        // These modes set their own rate, so a bench's load axis
+        // collapses: points differing only in load run identical
+        // experiments.
         std::fprintf(stderr,
-                     "note: closed-loop ignores per-point load; rows "
-                     "labelled with different loads will coincide\n");
+                     "note: %s ignores per-point load; rows labelled with "
+                     "different loads will coincide\n", patternName(s.kind));
     }
     return s;
 }

@@ -12,6 +12,7 @@
 // Prints the slowdown-by-decile table, utilization, queue occupancy, and
 // priority usage for any protocol/workload/parameter combination — every
 // figure in bench/ is a scripted set of these runs.
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -45,6 +46,16 @@ namespace {
         "                          host (default 4; --load is ignored)\n"
         "  --think-us F            closed-loop: mean think time before the\n"
         "                          next message (default 0)\n"
+        "  --dag-fanout N          dag: children per internal node (8)\n"
+        "  --dag-depth N           dag: fan-out levels below the root (2)\n"
+        "  --dag-window N          dag: trees outstanding per root (1)\n"
+        "  --dag-roots N           dag: coordinator hosts (0 = all)\n"
+        "  --dag-req BYTES         dag: request size per edge (320)\n"
+        "  --dag-stage-sizes LIST  dag: per-stage response bytes, comma-\n"
+        "                          separated root-to-leaf (default: sample\n"
+        "                          the workload distribution per node)\n"
+        "  --dag-straggler F       dag: straggler fraction of leaves (0)\n"
+        "  --dag-straggler-factor F  dag: straggler size multiplier (10)\n"
         "  --on-off                ON-OFF bursts: modulate any pattern with\n"
         "                          per-host burst/idle periods\n"
         "  --on-us F / --off-us F  mean burst / idle duration (100 / 300)\n"
@@ -56,6 +67,25 @@ namespace {
         "              --grant-policy srpt|fifo|rr|unlimited\n"
         "  --wasted-bw             sample the Figure 16 wasted-bw probe\n");
     std::exit(2);
+}
+
+// Strict numeric parsing for the --dag-* flags (range checks happen once
+// on the assembled config via validateDagConfig): a typo gets the usage
+// message, not an uncaught std::stoi exception.
+void dagInt(const std::string& flag, const std::string& val, int& out) {
+    if (!parseDagInt(val, out)) {
+        std::fprintf(stderr, "%s: expected an integer, got '%s'\n",
+                     flag.c_str(), val.c_str());
+        usage();
+    }
+}
+
+void dagDouble(const std::string& flag, const std::string& val, double& out) {
+    if (!parseDagDouble(val, out)) {
+        std::fprintf(stderr, "%s: expected a number, got '%s'\n",
+                     flag.c_str(), val.c_str());
+        usage();
+    }
 }
 
 Protocol parseProtocol(const std::string& s) {
@@ -76,6 +106,8 @@ int main(int argc, char** argv) {
 
     int sched = 0, unsched = 0;
     bool closedLoopFlagSeen = false, onOffKnobSeen = false;
+    bool dagFlagSeen = false, traceSeen = false, patternSeen = false;
+    TrafficPatternKind explicitPattern = TrafficPatternKind::Uniform;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -100,6 +132,8 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "unknown pattern: %s\n", name.c_str());
                 usage();
             }
+            patternSeen = true;
+            explicitPattern = cfg.traffic.scenario.kind;
         } else if (arg == "--hotspots") {
             cfg.traffic.scenario.hotspots = std::stoi(next());
         } else if (arg == "--hotspot-degree") {
@@ -113,6 +147,53 @@ int main(int argc, char** argv) {
         } else if (arg == "--trace") {
             cfg.traffic.scenario.kind = TrafficPatternKind::TraceReplay;
             cfg.traffic.scenario.tracePath = next();
+            traceSeen = true;
+        } else if (arg == "--dag-fanout") {
+            dagInt(arg, next(), cfg.traffic.scenario.dag.fanout);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-depth") {
+            dagInt(arg, next(), cfg.traffic.scenario.dag.depth);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-window") {
+            dagInt(arg, next(), cfg.traffic.scenario.dag.window);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-roots") {
+            dagInt(arg, next(), cfg.traffic.scenario.dag.roots);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-req") {
+            const std::string val = next();
+            if (!parseDagBytes(val, cfg.traffic.scenario.dag.requestBytes)) {
+                std::fprintf(stderr,
+                             "--dag-req: expected bytes in [1, 2^32), got "
+                             "'%s'\n", val.c_str());
+                usage();
+            }
+            dagFlagSeen = true;
+        } else if (arg == "--dag-stage-sizes") {
+            // "16000,2000" is the spec grammar's resp=16000/2000; reuse
+            // its validating parser instead of hand-rolling one.
+            std::string list = next();
+            for (char& c : list) {
+                if (c == ',') c = '/';
+            }
+            DagConfig parsed;
+            if (!parseDagSpec("resp=" + list, parsed)) {
+                std::fprintf(stderr,
+                             "--dag-stage-sizes: expected a comma-"
+                             "separated byte list (each in [1, 2^32)), "
+                             "got '%s'\n", list.c_str());
+                usage();
+            }
+            cfg.traffic.scenario.dag.stageResponseBytes =
+                std::move(parsed.stageResponseBytes);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-straggler") {
+            dagDouble(arg, next(),
+                      cfg.traffic.scenario.dag.stragglerFraction);
+            dagFlagSeen = true;
+        } else if (arg == "--dag-straggler-factor") {
+            dagDouble(arg, next(), cfg.traffic.scenario.dag.stragglerFactor);
+            dagFlagSeen = true;
         } else if (arg == "--window") {
             cfg.traffic.scenario.closedLoopWindow = std::stoi(next());
             closedLoopFlagSeen = true;
@@ -178,6 +259,7 @@ int main(int argc, char** argv) {
             usage();
         }
     }
+    const bool dagMode = cfg.traffic.scenario.kind == TrafficPatternKind::Dag;
     if (cfg.traffic.scenario.kind == TrafficPatternKind::TraceReplay &&
         cfg.traffic.scenario.tracePath.empty()) {
         std::fprintf(stderr,
@@ -191,6 +273,26 @@ int main(int argc, char** argv) {
                      "trace carries its own timing)\n");
         usage();
     }
+    if (traceSeen && (dagMode || dagFlagSeen)) {
+        std::fprintf(stderr,
+                     "--dag-* flags contradict --trace: a replayed "
+                     "schedule has no request trees — pick one\n");
+        usage();
+    }
+    if (traceSeen && patternSeen &&
+        explicitPattern != TrafficPatternKind::TraceReplay) {
+        std::fprintf(stderr,
+                     "--trace contradicts --pattern %s: the replayed "
+                     "schedule dictates the traffic — drop one\n",
+                     patternName(explicitPattern));
+        usage();
+    }
+    if (dagFlagSeen && !dagMode) {
+        std::fprintf(stderr,
+                     "--dag-* flags need --pattern dag (current pattern: "
+                     "%s)\n", patternName(cfg.traffic.scenario.kind));
+        usage();
+    }
     if (cfg.traffic.scenario.closedLoopWindow < 1) {
         std::fprintf(stderr, "--window must be >= 1\n");
         usage();
@@ -198,9 +300,18 @@ int main(int argc, char** argv) {
     if (closedLoopFlagSeen &&
         cfg.traffic.scenario.kind != TrafficPatternKind::ClosedLoop) {
         std::fprintf(stderr,
-                     "--window/--think-us only apply to --pattern "
-                     "closed-loop\n");
+                     dagMode ? "--window/--think-us only apply to "
+                               "--pattern closed-loop; dag trees are "
+                               "windowed with --dag-window\n"
+                             : "--window/--think-us only apply to "
+                               "--pattern closed-loop\n");
         usage();
+    }
+    if (dagMode) {
+        if (const char* err = validateDagConfig(cfg.traffic.scenario.dag)) {
+            std::fprintf(stderr, "bad dag config: %s\n", err);
+            usage();
+        }
     }
     if (onOffKnobSeen && !cfg.traffic.scenario.onOff.enabled) {
         std::fprintf(stderr,
@@ -236,6 +347,14 @@ int main(int argc, char** argv) {
         loadStr = "load n/a (closed loop, W=";
         loadStr += std::to_string(cfg.traffic.scenario.closedLoopWindow);
         loadStr += ')';
+    } else if (dagMode) {
+        char dagStr[96];
+        std::snprintf(dagStr, sizeof(dagStr),
+                      "load n/a (dag, fanout %d depth %d, W=%d)",
+                      cfg.traffic.scenario.dag.fanout,
+                      cfg.traffic.scenario.dag.depth,
+                      cfg.traffic.scenario.dag.window);
+        loadStr = dagStr;
     } else if (cfg.traffic.scenario.kind != TrafficPatternKind::TraceReplay) {
         loadStr = "load ";
         loadStr += std::to_string(static_cast<int>(100 * cfg.traffic.load));
@@ -305,6 +424,26 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(cl.maxClientCompleted()),
             cl.latencyPercentileUs(0.50), cl.latencyPercentileUs(0.99),
             cl.latencyMeanUs());
+    }
+    if (r.dag) {
+        const DagTracker& dag = *r.dag;
+        std::printf(
+            "dag: %llu trees in window (%.0f trees/s, %.2f Gbps, %llu "
+            "nodes), peak outstanding %d/%d\n",
+            static_cast<unsigned long long>(dag.trees()), dag.treesPerSec(),
+            dag.aggregateGbps(),
+            static_cast<unsigned long long>(dag.totalNodes()),
+            r.maxOutstanding, cfg.traffic.scenario.dag.window);
+        std::printf(
+            "  tree completion (us): p50 %.1f, p99 %.1f, mean %.1f;   "
+            "tree slowdown: p50 %.2f, p99 %.2f\n",
+            dag.completionPercentileUs(0.50), dag.completionPercentileUs(0.99),
+            dag.completionMeanUs(), dag.slowdownPercentile(0.50),
+            dag.slowdownPercentile(0.99));
+        std::printf(
+            "  trees per root: min %llu / max %llu\n",
+            static_cast<unsigned long long>(dag.minRootTrees()),
+            static_cast<unsigned long long>(dag.maxRootTrees()));
     }
     return 0;
 }

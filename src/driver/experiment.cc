@@ -130,7 +130,13 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     int64_t deliveredBytesAll = 0;
     TrafficGenerator gen(net, cfg.traffic, [&](const Message& m) {
         generatedBytesAll += m.length;
-        if (m.created >= windowStart) inWindowGenerated++;
+        // Upper bound matters for dag mode: the tree cascade keeps
+        // emitting during the drain, and a message created past genStop
+        // can never count as delivered below — without the bound those
+        // emissions would deflate keptUp for healthy closed-loop trees.
+        if (m.created >= windowStart && m.created < genStop) {
+            inWindowGenerated++;
+        }
     });
 
     const bool closedLoop =
@@ -138,6 +144,17 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     if (closedLoop) {
         result.closedLoop = std::make_unique<ClosedLoopTracker>(
             net.hostCount(), windowStart, genStop);
+    }
+    const bool dagMode = cfg.traffic.scenario.kind == TrafficPatternKind::Dag;
+    if (dagMode) {
+        result.dag = std::make_unique<DagTracker>(
+            dagRootCount(cfg.traffic.scenario.dag, net.hostCount()),
+            windowStart, genStop);
+        gen.setDagCost(dagOracleCost(net, oracle));
+        gen.setOnTreeComplete([&result](const DagTreeResult& t) {
+            result.dag->record(t.root, t.nodes, t.bytes,
+                               t.completed - t.issued, t.ideal, t.completed);
+        });
     }
 
     net.setDeliveryCallback([&](const Message& m, const DeliveryInfo& info) {
@@ -250,18 +267,24 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         std::max(0.08 * offeredInWindow,
                  3.0 * static_cast<double>(messageWireBytes(dist.maxSize()))) +
         heavyAllowance;
-    // Closed loop bounds the backlog by construction (at most window
-    // messages per host in flight), and `load` — which the offered-load
-    // arithmetic above leans on — is ignored; only the delivery criterion
-    // below applies.
+    // Closed loop and dag bound the backlog by construction (at most
+    // window messages/trees per host in flight), and `load` — which the
+    // offered-load arithmetic above leans on — is ignored; only the
+    // delivery criterion below applies.
     const bool backlogStable =
-        closedLoop ||
+        closedLoop || dagMode ||
         static_cast<double>(backlogEnd - backlogStart) <= backlogTolerance;
     result.keptUp =
         backlogStable && inWindowGenerated > 0 &&
         static_cast<double>(inWindowDelivered) >=
             0.99 * static_cast<double>(inWindowGenerated);
     return result;
+}
+
+DagCostFn dagOracleCost(Network& net, const Oracle& oracle) {
+    return [&net, &oracle](HostId a, HostId b, uint32_t bytes) {
+        return oracle.bestOneWay(bytes, net.rackOf(a) == net.rackOf(b));
+    };
 }
 
 double findMaxLoad(ExperimentConfig base, double startPct, double stepPct,

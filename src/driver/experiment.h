@@ -15,6 +15,7 @@
 #include "driver/oracle.h"
 #include "stats/closed_loop.h"
 #include "stats/counters.h"
+#include "stats/dag.h"
 #include "stats/slowdown.h"
 #include "workload/generator.h"
 
@@ -84,7 +85,10 @@ struct ExperimentResult {
     /// Closed-loop scenarios only (null otherwise): per-source-host
     /// throughput and message-latency percentiles in the window.
     std::unique_ptr<ClosedLoopTracker> closedLoop;
-    /// Closed-loop scenarios only: peak per-host outstanding count the
+    /// Dag scenarios only (null otherwise): per-tree completion-time and
+    /// slowdown percentiles in the window.
+    std::unique_ptr<DagTracker> dag;
+    /// Closed-loop/dag scenarios only: peak per-host outstanding count the
     /// generator observed (never exceeds the configured window).
     int maxOutstanding = 0;
 
@@ -94,6 +98,13 @@ struct ExperimentResult {
 };
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+/// Per-edge unloaded cost for DAG tree slowdown: Oracle::bestOneWay with
+/// the intra-rack path when src/dst share a rack. One definition, used
+/// by both the message-level (runExperiment) and RPC-level
+/// (runRpcExperiment) DAG harnesses so their slowdowns share a
+/// denominator. `net` and `oracle` must outlive the returned function.
+DagCostFn dagOracleCost(Network& net, const Oracle& oracle);
 
 /// Capacity search for Figure 15: highest load (percent, step `stepPct`)
 /// the protocol sustains (keptUp) for the workload.

@@ -2,10 +2,222 @@
 
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 namespace homa {
 
+namespace {
+
+// Fan-out/fan-in trees as real RPCs: the coordinator (client) calls its
+// stage-1 workers; each worker's *deferred* response fires only after its
+// own child RPCs complete (RpcEndpoint::setAsyncHandler), so retries,
+// incast marks, and at-least-once re-execution all apply per edge. The
+// harness orchestrates centrally: it samples each tree up front, issues
+// every call itself, and maps request RpcIds back to tree nodes.
+RpcExperimentResult runRpcDagExperiment(const RpcExperimentConfig& cfg) {
+    assert(validateDagConfig(cfg.dag) == nullptr);
+    const SizeDistribution& dist = workload(cfg.workload);
+
+    NetworkConfig netCfg = cfg.net;
+    if (!netCfg.switchQdisc) netCfg.switchQdisc = switchQdiscFor(cfg.proto);
+    Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist));
+    Oracle oracle(netCfg);
+
+    const int servers = net.hostCount() - cfg.clients;
+    assert(servers >= (cfg.dag.depth >= 2 ? 2 : 1));
+
+    std::vector<std::unique_ptr<RpcEndpoint>> endpoints;
+    for (HostId h = 0; h < net.hostCount(); h++) {
+        endpoints.push_back(std::make_unique<RpcEndpoint>(net, h));
+    }
+
+    RpcExperimentResult result;
+    // No slowdown tracker: per-edge RPCs are not echoes, so the echo
+    // oracle has no meaningful denominator — `dag` carries the metrics.
+    const Time windowStart = static_cast<Time>(
+        cfg.warmupFraction * static_cast<double>(cfg.stop));
+    result.perClient = std::make_unique<ClosedLoopTracker>(
+        cfg.clients, windowStart, cfg.stop);
+    result.dag = std::make_unique<DagTracker>(cfg.clients, windowStart,
+                                              cfg.stop);
+
+    Rng master(cfg.seed);
+    std::vector<Rng> rngs;
+    for (int c = 0; c < cfg.clients; c++) rngs.push_back(master.fork());
+    std::vector<OnOffModulator> mods;
+    if (cfg.onOff.enabled) {
+        mods.reserve(cfg.clients);
+        for (int c = 0; c < cfg.clients; c++) {
+            mods.emplace_back(cfg.onOff, /*start=*/0, master.next());
+        }
+    }
+
+    struct NodeState {
+        RpcEndpoint::Responder respond;  // deferred parent answer
+        int pending = 0;                 // unanswered children
+        bool issued = false;             // child RPCs already sent
+    };
+    struct TreeRun {
+        DagTreeSpec spec;
+        std::vector<NodeState> state;
+        std::vector<RpcId> rpcIds;
+        int client = 0;
+        Time issued = 0;
+        bool inWindow = false;
+        int64_t bytes = 0;
+    };
+    std::unordered_map<uint64_t, TreeRun> trees;
+    std::unordered_map<RpcId, std::pair<uint64_t, int>> byRpc;
+    uint64_t nextTree = 1;
+    uint64_t issuedInWindow = 0;
+    uint64_t completedInWindow = 0;
+
+    const DagCostFn cost = dagOracleCost(net, oracle);
+    // Node hosts come from the server pool, never the parent's own host
+    // (siblings may repeat — that repetition *is* the incast).
+    auto pickChild = [&](HostId parent, Rng& rng) -> HostId {
+        if (parent < cfg.clients) {
+            return static_cast<HostId>(cfg.clients + rng.below(servers));
+        }
+        return static_cast<HostId>(
+            cfg.clients + uniformHostExcept(servers, parent - cfg.clients, rng));
+    };
+
+    std::function<void(uint64_t, int)> callNode;  // issue node's request RPC
+    std::function<void(int)> issueGated;
+
+    auto completeTree = [&](uint64_t treeId, TreeRun& t) {
+        const Time now = net.loop().now();
+        const Duration elapsed = now - t.issued;
+        result.dag->record(t.client, static_cast<int>(t.spec.nodes.size()) - 1,
+                           t.bytes, elapsed,
+                           dagTreeIdeal(t.spec, cfg.dag.requestBytes, cost),
+                           now);
+        result.perClient->record(t.client, t.bytes, elapsed, now);
+        if (t.inWindow) completedInWindow++;
+        const int c = t.client;
+        for (RpcId id : t.rpcIds) byRpc.erase(id);
+        trees.erase(treeId);
+        if (net.loop().now() < cfg.stop) {
+            net.loop().after(1, [&, c] { issueGated(c); });
+        }
+    };
+
+    auto onChildDone = [&](uint64_t treeId, int node) {
+        const auto it = trees.find(treeId);
+        assert(it != trees.end());
+        TreeRun& t = it->second;
+        const int parent = t.spec.nodes[node].parent;
+        NodeState& ps = t.state[parent];
+        assert(ps.pending > 0);
+        if (--ps.pending > 0) return;
+        if (parent == 0) {
+            completeTree(treeId, t);
+        } else if (ps.respond) {
+            ps.respond(t.spec.nodes[parent].respBytes);
+        }
+    };
+
+    callNode = [&](uint64_t treeId, int node) {
+        TreeRun& t = trees[treeId];
+        const DagNodeSpec& n = t.spec.nodes[node];
+        const HostId parentHost = t.spec.nodes[n.parent].host;
+        const RpcId id = endpoints[parentHost]->call(
+            n.host, cfg.dag.requestBytes,
+            [&, treeId, node](RpcId, uint32_t, uint32_t, Duration) {
+                onChildDone(treeId, node);
+            });
+        t.rpcIds.push_back(id);
+        byRpc.emplace(id, std::make_pair(treeId, node));
+    };
+
+    // Every server runs the same deferred handler: leaves answer at once;
+    // internal nodes fan out and answer when their last child returns.
+    for (HostId h = cfg.clients; h < net.hostCount(); h++) {
+        endpoints[h]->setAsyncHandler(
+            [&](const Message& req, RpcEndpoint::Responder respond) {
+                const auto it = byRpc.find(req.id);
+                if (it == byRpc.end()) {
+                    respond(1);  // stale retry of an already-completed tree
+                    return;
+                }
+                const auto [treeId, node] = it->second;
+                TreeRun& t = trees[treeId];
+                const DagNodeSpec& n = t.spec.nodes[node];
+                if (n.childCount == 0) {
+                    respond(n.respBytes);
+                    return;
+                }
+                NodeState& ns = t.state[node];
+                ns.respond = std::move(respond);
+                if (!ns.issued) {
+                    ns.issued = true;
+                    ns.pending = n.childCount;
+                    for (int c = 0; c < n.childCount; c++) {
+                        callNode(treeId, n.firstChild + c);
+                    }
+                } else if (ns.pending == 0) {
+                    // Re-executed after the children already finished.
+                    ns.respond(n.respBytes);
+                }
+            });
+    }
+
+    auto issueTree = [&](int c) {
+        const uint64_t treeId = nextTree++;
+        TreeRun t;
+        t.client = c;
+        t.issued = net.loop().now();
+        t.inWindow = t.issued >= windowStart;
+        if (t.inWindow) issuedInWindow++;
+        t.spec = sampleDagTree(cfg.dag, &dist, rngs[c],
+                               static_cast<HostId>(c), pickChild);
+        t.bytes = dagTreeBytes(cfg.dag, t.spec);
+        t.state.resize(t.spec.nodes.size());
+        t.state[0].pending = t.spec.nodes[0].childCount;
+        TreeRun& placed = trees.emplace(treeId, std::move(t)).first->second;
+        const DagNodeSpec& root = placed.spec.nodes[0];
+        for (int i = 0; i < root.childCount; i++) {
+            callNode(treeId, root.firstChild + i);
+        }
+    };
+    issueGated = [&](int c) {
+        if (net.loop().now() >= cfg.stop) return;
+        if (!mods.empty()) {
+            const Time go = mods[c].gate(net.loop().now());
+            if (go > net.loop().now()) {
+                net.loop().at(go, [&, c] { issueGated(c); });
+                return;
+            }
+        }
+        issueTree(c);
+    };
+    for (int c = 0; c < cfg.clients; c++) {
+        for (int w = 0; w < cfg.dag.window; w++) {
+            const Duration jitter = static_cast<Duration>(
+                rngs[c].uniform() * static_cast<double>(microseconds(5)));
+            net.loop().at(jitter, [&, c] { issueGated(c); });
+        }
+    }
+
+    net.loop().runUntil(cfg.stop + cfg.drainGrace);
+
+    result.issued = issuedInWindow;
+    result.completed = completedInWindow;
+    for (const auto& ep : endpoints) {
+        result.retries += ep->stats().retries;
+        result.reexecutions += ep->stats().reexecutions;
+    }
+    result.keptUp = issuedInWindow > 0 &&
+                    static_cast<double>(completedInWindow) >=
+                        0.99 * static_cast<double>(issuedInWindow);
+    return result;
+}
+
+}  // namespace
+
 RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
+    if (cfg.dagMode) return runRpcDagExperiment(cfg);
     const SizeDistribution& dist = workload(cfg.workload);
 
     NetworkConfig netCfg = cfg.net;

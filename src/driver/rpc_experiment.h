@@ -19,6 +19,7 @@
 
 #include "core/rpc.h"
 #include "driver/experiment.h"
+#include "workload/rpc_dag.h"
 
 namespace homa {
 
@@ -39,6 +40,16 @@ struct RpcExperimentConfig {
     Duration thinkTime = 0;
     /// ON-OFF burst/idle modulation of request issue (both modes).
     OnOffConfig onOff;
+
+    /// Fan-out/fan-in mode: instead of independent echo RPCs, each client
+    /// issues partition-aggregate trees (workload/rpc_dag.h) as *real*
+    /// RPCs — internal nodes answer their parent via deferred responses
+    /// only after all their child RPCs return. Tree node hosts are drawn
+    /// from the servers; clients run closed-loop over trees (`dag.window`
+    /// each; `load` and `closedLoopWindow` are ignored). ON-OFF gates
+    /// tree issues. Requires >= 2 servers when dag.depth >= 2.
+    bool dagMode = false;
+    DagConfig dag;
 };
 
 struct RpcExperimentResult {
@@ -46,9 +57,15 @@ struct RpcExperimentResult {
     uint64_t completed = 0;
     uint64_t retries = 0;
     uint64_t reexecutions = 0;
-    std::unique_ptr<SlowdownTracker> slowdown;  // vs best echo RPC time
-    /// Per-client in-window throughput and RPC latency percentiles.
+    /// Slowdown vs best echo RPC time (null in dag mode — per-edge RPCs
+    /// are not echoes, so the echo oracle has no denominator there).
+    std::unique_ptr<SlowdownTracker> slowdown;
+    /// Per-client in-window throughput and RPC latency percentiles (dag
+    /// mode: one op per completed tree).
     std::unique_ptr<ClosedLoopTracker> perClient;
+    /// Dag mode only (null otherwise): per-tree completion and slowdown.
+    /// `issued`/`completed` then count trees, not individual RPCs.
+    std::unique_ptr<DagTracker> dag;
     bool keptUp = false;
 };
 

@@ -109,6 +109,19 @@ std::string resultFingerprint(const ExperimentResult& r) {
         appendNum(s, "clLatP50", r.closedLoop->latencyPercentileUs(0.50));
         appendNum(s, "clLatP99", r.closedLoop->latencyPercentileUs(0.99));
     }
+    if (r.dag) {
+        appendInt(s, "dagMaxOutstanding", static_cast<uint64_t>(r.maxOutstanding));
+        appendInt(s, "dagTrees", r.dag->trees());
+        appendInt(s, "dagNodes", r.dag->totalNodes());
+        appendInt(s, "dagBytes", static_cast<uint64_t>(r.dag->totalBytes()));
+        appendInt(s, "dagMaxRoot", r.dag->maxRootTrees());
+        appendInt(s, "dagMinRoot", r.dag->minRootTrees());
+        appendNum(s, "dagTreesPerSec", r.dag->treesPerSec());
+        appendNum(s, "dagCompP50", r.dag->completionPercentileUs(0.50));
+        appendNum(s, "dagCompP99", r.dag->completionPercentileUs(0.99));
+        appendNum(s, "dagSlowP50", r.dag->slowdownPercentile(0.50));
+        appendNum(s, "dagSlowP99", r.dag->slowdownPercentile(0.99));
+    }
     if (r.slowdown) {
         appendNum(s, "p50", r.slowdown->overallPercentile(0.50));
         appendNum(s, "p99", r.slowdown->overallPercentile(0.99));

@@ -1,0 +1,67 @@
+#include "stats/dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace homa {
+
+DagTracker::DagTracker(int roots, Time windowStart, Time windowEnd)
+    : windowStart_(windowStart),
+      windowEnd_(windowEnd),
+      completed_(roots, 0) {
+    assert(roots > 0 && windowEnd > windowStart);
+}
+
+void DagTracker::record(int root, int nodes, int64_t bytes, Duration elapsed,
+                        Duration ideal, Time completedAt) {
+    assert(root >= 0 && root < roots());
+    if (completedAt < windowStart_ || completedAt >= windowEnd_) return;
+    completed_[root]++;
+    nodes_ += static_cast<uint64_t>(nodes);
+    bytes_ += bytes;
+    completionUs_.add(toMicros(elapsed));
+    if (ideal > 0) {
+        slowdown_.add(static_cast<double>(elapsed) /
+                      static_cast<double>(ideal));
+    }
+}
+
+double DagTracker::windowSeconds() const {
+    return toSeconds(windowEnd_ - windowStart_);
+}
+
+uint64_t DagTracker::trees() const {
+    uint64_t total = 0;
+    for (uint64_t c : completed_) total += c;
+    return total;
+}
+
+uint64_t DagTracker::maxRootTrees() const {
+    return *std::max_element(completed_.begin(), completed_.end());
+}
+
+uint64_t DagTracker::minRootTrees() const {
+    return *std::min_element(completed_.begin(), completed_.end());
+}
+
+double DagTracker::treesPerSec() const {
+    return static_cast<double>(trees()) / windowSeconds();
+}
+
+double DagTracker::aggregateGbps() const {
+    return static_cast<double>(bytes_) * 8.0 / (windowSeconds() * 1e9);
+}
+
+double DagTracker::completionPercentileUs(double p) const {
+    return completionUs_.percentile(p);
+}
+
+double DagTracker::completionMeanUs() const {
+    return completionUs_.empty() ? 0 : completionUs_.mean();
+}
+
+double DagTracker::slowdownPercentile(double p) const {
+    return slowdown_.percentile(p);
+}
+
+}  // namespace homa

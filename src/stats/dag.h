@@ -1,0 +1,64 @@
+// Per-tree metrics for fan-out/fan-in RPC dependency DAGs.
+//
+// A DAG workload's unit of work is the whole tree, not the individual
+// message: the coordinator's reply is gated on the slowest leaf-to-root
+// path, so the numbers that matter are per-tree completion-time
+// percentiles and per-tree slowdown (completion / unloaded critical
+// path). `DagTracker` keeps one completion-count row per root plus
+// aggregate completion and slowdown distributions, counting only trees
+// completed inside the measurement window — the DAG analogue of
+// `ClosedLoopTracker`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/percentile.h"
+
+namespace homa {
+
+class DagTracker {
+public:
+    /// Tracks `roots` coordinator hosts; only trees with `completedAt` in
+    /// [windowStart, windowEnd) count.
+    DagTracker(int roots, Time windowStart, Time windowEnd);
+
+    /// Record one completed tree. `nodes`/`bytes` describe the tree,
+    /// `elapsed` is root-issue-to-root-completion, `ideal` the unloaded
+    /// critical path (0 = unknown; the slowdown sample is then skipped).
+    void record(int root, int nodes, int64_t bytes, Duration elapsed,
+                Duration ideal, Time completedAt);
+
+    int roots() const { return static_cast<int>(completed_.size()); }
+    uint64_t trees() const;               // in-window completions
+    uint64_t rootTrees(int root) const { return completed_[root]; }
+    uint64_t maxRootTrees() const;
+    uint64_t minRootTrees() const;
+    uint64_t totalNodes() const { return nodes_; }
+    int64_t totalBytes() const { return bytes_; }
+
+    double treesPerSec() const;
+    double aggregateGbps() const;  // payload bytes moved, bits/s in window
+
+    /// Tree completion-time percentile (p in [0,1]) in microseconds.
+    double completionPercentileUs(double p) const;
+    double completionMeanUs() const;
+
+    /// Tree slowdown percentile; 0 when no tree carried an ideal time.
+    double slowdownPercentile(double p) const;
+    size_t slowdownSamples() const { return slowdown_.count(); }
+
+private:
+    double windowSeconds() const;
+
+    Time windowStart_;
+    Time windowEnd_;
+    std::vector<uint64_t> completed_;
+    uint64_t nodes_ = 0;
+    int64_t bytes_ = 0;
+    Samples completionUs_;
+    Samples slowdown_;
+};
+
+}  // namespace homa

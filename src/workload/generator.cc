@@ -33,6 +33,25 @@ TrafficGenerator::TrafficGenerator(Network& net, TrafficConfig cfg,
     if (closedLoop()) {
         assert(cfg_.scenario.closedLoopWindow >= 1);
         outstanding_.assign(net_.hostCount(), 0);
+    } else if (dagMode()) {
+        assert(validateDagConfig(cfg_.scenario.dag) == nullptr);
+        dagRoots_ = dagRootCount(cfg_.scenario.dag, net_.hostCount());
+        outstanding_.assign(dagRoots_, 0);
+        dag_ = std::make_unique<DagEngine>(
+            cfg_.scenario.dag, &dist_, net_.hostCount(), net_.loop(),
+            [this] { return net_.nextMsgId(); },
+            [this](const Message& m) { emit(m); });
+        dag_->setOnComplete([this](const DagTreeResult& r) {
+            assert(r.root >= 0 && r.root < dagRoots_);
+            assert(outstanding_[r.root] > 0);
+            outstanding_[r.root]--;
+            if (onTreeComplete_) onTreeComplete_(r);
+            if (net_.loop().now() >= cfg_.stop) return;
+            // Refill the root's slot; bounce through the event loop so the
+            // next tree is not issued from inside the delivery callback.
+            const HostId h = r.root;
+            net_.loop().after(1, [this, h] { issueDagTree(h); });
+        });
     } else {
         assert(cfg_.load > 0 && cfg_.load <= 1.5);  // >1 allowed for overload
         // load = (wire bytes/message) / (interarrival * link rate)
@@ -127,6 +146,18 @@ void TrafficGenerator::start() {
         }
         return;
     }
+    if (dagMode()) {
+        // Prime every root's tree window, staggered like closed loop.
+        for (HostId h = 0; h < dagRoots_; h++) {
+            for (int w = 0; w < cfg_.scenario.dag.window; w++) {
+                const Duration jitter = static_cast<Duration>(
+                    rngs_[h].uniform() * static_cast<double>(microseconds(5)));
+                net_.loop().at(cfg_.start + jitter,
+                               [this, h] { issueDagTree(h); });
+            }
+        }
+        return;
+    }
     for (HostId h = 0; h < net_.hostCount(); h++) {
         if (gaps_[h] <= 0) continue;  // pattern muted this sender
         if (!onoff_.empty()) {
@@ -205,7 +236,31 @@ void TrafficGenerator::issueClosedLoop(HostId h) {
     emit(m);
 }
 
+void TrafficGenerator::issueDagTree(HostId h) {
+    if (net_.loop().now() >= cfg_.stop) return;
+    if (!onoff_.empty()) {
+        const Time go = onoff_[h].gate(net_.loop().now());
+        if (go > net_.loop().now()) {
+            net_.loop().at(go, [this, h] { issueDagTree(h); });
+            return;
+        }
+    }
+    outstanding_[h]++;
+    maxOutstanding_ = std::max(maxOutstanding_, outstanding_[h]);
+    assert(outstanding_[h] <= cfg_.scenario.dag.window);
+    dag_->issueTree(h, rngs_[h]);
+}
+
+void TrafficGenerator::setDagCost(DagCostFn cost) {
+    assert(dag_);
+    dag_->setCost(std::move(cost));
+}
+
 void TrafficGenerator::onDelivered(const Message& m) {
+    if (dagMode()) {
+        dag_->onDelivered(m);
+        return;
+    }
     if (!closedLoop()) return;
     const HostId h = m.src;
     assert(h >= 0 && h < static_cast<HostId>(outstanding_.size()));

@@ -19,11 +19,18 @@
 //    load is endogenous — `TrafficConfig::load` is ignored.
 //  * Trace replay: bypasses the Poisson process and replays an explicit
 //    (time, src, dst, size) schedule.
+//
+// `TrafficPatternKind::Dag` is closed-loop over *trees*: each root host
+// keeps `ScenarioConfig::dag.window` fan-out/fan-in request trees
+// outstanding (see workload/rpc_dag.h), the per-message cascade is driven
+// by `onDelivered()`, and a completed tree refills the root's window
+// (ON-OFF gates tree issues exactly like closed-loop message issues).
 #pragma once
 
 #include <functional>
 
 #include "sim/network.h"
+#include "workload/rpc_dag.h"
 #include "workload/scenario.h"
 #include "workload/workloads.h"
 
@@ -61,19 +68,38 @@ public:
     Duration meanInterarrival() const { return meanGap_; }
 
     /// Closed loop: the highest outstanding count any host ever reached
-    /// (never exceeds `closedLoopWindow` — tested invariant). 0 otherwise.
+    /// (never exceeds `closedLoopWindow` — tested invariant). Dag mode:
+    /// the analogous peak count of outstanding *trees*. 0 otherwise.
     int maxOutstanding() const { return maxOutstanding_; }
 
     /// The scenario's pattern (null for trace replay).
     const TrafficPattern* pattern() const { return pattern_.get(); }
 
+    /// Dag mode only (null otherwise): the tree orchestrator, exposed for
+    /// the fan-in semantics tests.
+    const DagEngine* dag() const { return dag_.get(); }
+
+    /// Dag mode: inject the unloaded-edge cost used for per-tree slowdown
+    /// (the driver wraps its Oracle). Call before start().
+    void setDagCost(DagCostFn cost);
+
+    /// Dag mode: observe every completed tree (after the generator's own
+    /// window refill accounting). Call before start().
+    void setOnTreeComplete(std::function<void(const DagTreeResult&)> fn) {
+        onTreeComplete_ = std::move(fn);
+    }
+
 private:
     bool closedLoop() const {
         return cfg_.scenario.kind == TrafficPatternKind::ClosedLoop;
     }
+    bool dagMode() const {
+        return cfg_.scenario.kind == TrafficPatternKind::Dag;
+    }
     void scheduleNext(HostId h);           // open loop, unmodulated
     void scheduleNextModulated(HostId h);  // open loop, ON-OFF
     void issueClosedLoop(HostId h);        // closed loop (applies gating)
+    void issueDagTree(HostId h);           // dag (applies gating)
     void emit(Message m);
 
     Network& net_;
@@ -86,7 +112,10 @@ private:
     Duration meanGap_ = 0;
     std::vector<Rng> rngs_;  // one independent stream per host
     std::vector<OnOffModulator> onoff_;  // one per host when enabled
-    std::vector<int> outstanding_;       // closed loop: in-flight per host
+    std::vector<int> outstanding_;       // closed loop/dag: in-flight per host
+    std::unique_ptr<DagEngine> dag_;     // dag mode only
+    std::function<void(const DagTreeResult&)> onTreeComplete_;
+    int dagRoots_ = 0;                   // dag mode: hosts [0, dagRoots_)
     int maxOutstanding_ = 0;
     uint64_t generated_ = 0;
     int64_t generatedBytes_ = 0;

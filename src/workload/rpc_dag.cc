@@ -1,0 +1,328 @@
+#include "workload/rpc_dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace homa {
+
+int64_t dagTreeNodeCount(const DagConfig& cfg) {
+    int64_t total = 0;
+    int64_t level = 1;
+    for (int d = 1; d <= cfg.depth; d++) {
+        level *= cfg.fanout;
+        total += level;
+        if (total > kMaxDagNodes) return kMaxDagNodes + 1;
+    }
+    return total;
+}
+
+const char* validateDagConfig(const DagConfig& cfg) {
+    if (cfg.fanout < 1) return "fanout must be >= 1";
+    if (cfg.depth < 1) return "depth must be >= 1";
+    if (cfg.window < 1) return "window must be >= 1";
+    if (cfg.roots < 0) return "roots must be >= 0";
+    if (cfg.requestBytes < 1) return "request bytes must be >= 1";
+    for (uint32_t b : cfg.stageResponseBytes) {
+        if (b < 1) return "response bytes must be >= 1";
+    }
+    if (cfg.stragglerFraction < 0 || cfg.stragglerFraction > 1) {
+        return "straggler fraction must be in [0, 1]";
+    }
+    if (cfg.stragglerFactor < 1) return "straggler factor must be >= 1";
+    if (dagTreeNodeCount(cfg) > kMaxDagNodes) {
+        return "fanout^depth exceeds the per-tree node cap";
+    }
+    return nullptr;
+}
+
+int dagRootCount(const DagConfig& cfg, int hostCount) {
+    if (cfg.roots <= 0) return hostCount;
+    return std::min(cfg.roots, hostCount);
+}
+
+bool parseDagInt(const std::string& v, int& out) {
+    if (v.empty()) return false;
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (*end != '\0' || n < INT_MIN || n > INT_MAX) return false;
+    out = static_cast<int>(n);
+    return true;
+}
+
+bool parseDagBytes(const std::string& v, uint32_t& out) {
+    if (v.empty()) return false;
+    // strtoull accepts a leading '-' and wraps; reject signs explicitly.
+    if (v[0] == '-' || v[0] == '+') return false;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (*end != '\0' || n < 1 || n > 0xFFFFFFFFull) return false;
+    out = static_cast<uint32_t>(n);
+    return true;
+}
+
+bool parseDagDouble(const std::string& v, double& out) {
+    if (v.empty()) return false;
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (*end != '\0' || !std::isfinite(d)) return false;
+    out = d;
+    return true;
+}
+
+bool parseDagSpec(const std::string& body, DagConfig& out) {
+    DagConfig cfg;
+    size_t pos = 0;
+    while (pos <= body.size()) {
+        const size_t comma = std::min(body.find(',', pos), body.size());
+        const std::string pair = body.substr(pos, comma - pos);
+        pos = comma + 1;
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) return false;
+        const std::string key = pair.substr(0, eq);
+        const std::string val = pair.substr(eq + 1);
+        if (key == "fanout") {
+            if (!parseDagInt(val, cfg.fanout)) return false;
+        } else if (key == "depth") {
+            if (!parseDagInt(val, cfg.depth)) return false;
+        } else if (key == "window") {
+            if (!parseDagInt(val, cfg.window)) return false;
+        } else if (key == "roots") {
+            if (!parseDagInt(val, cfg.roots)) return false;
+        } else if (key == "req") {
+            if (!parseDagBytes(val, cfg.requestBytes)) return false;
+        } else if (key == "resp") {
+            cfg.stageResponseBytes.clear();
+            size_t p = 0;
+            while (p <= val.size()) {
+                const size_t slash = std::min(val.find('/', p), val.size());
+                uint32_t bytes = 0;
+                if (!parseDagBytes(val.substr(p, slash - p), bytes)) return false;
+                cfg.stageResponseBytes.push_back(bytes);
+                p = slash + 1;
+            }
+        } else if (key == "straggler") {
+            if (!parseDagDouble(val, cfg.stragglerFraction)) return false;
+        } else if (key == "factor") {
+            if (!parseDagDouble(val, cfg.stragglerFactor)) return false;
+        } else {
+            return false;
+        }
+        if (comma == body.size()) break;
+    }
+    if (validateDagConfig(cfg) != nullptr) return false;
+    out = cfg;
+    return true;
+}
+
+DagTreeSpec sampleDagTree(
+    const DagConfig& cfg, const SizeDistribution* sizes, Rng& rng,
+    HostId root, const std::function<HostId(HostId, Rng&)>& pickChild) {
+    assert(validateDagConfig(cfg) == nullptr);
+    assert(sizes != nullptr || !cfg.stageResponseBytes.empty());
+    DagTreeSpec tree;
+    tree.nodes.reserve(static_cast<size_t>(dagTreeNodeCount(cfg)) + 1);
+    DagNodeSpec rootNode;
+    rootNode.host = root;
+    tree.nodes.push_back(rootNode);
+
+    auto respBytesFor = [&](int stage) -> uint32_t {
+        if (cfg.stageResponseBytes.empty()) {
+            return std::max<uint32_t>(1, sizes->sample(rng));
+        }
+        const size_t i = std::min<size_t>(static_cast<size_t>(stage - 1),
+                                          cfg.stageResponseBytes.size() - 1);
+        return cfg.stageResponseBytes[i];
+    };
+
+    // BFS level by level: children are appended contiguously, so each
+    // parent records [firstChild, firstChild + childCount).
+    size_t levelBegin = 0, levelEnd = 1;
+    for (int stage = 1; stage <= cfg.depth; stage++) {
+        for (size_t p = levelBegin; p < levelEnd; p++) {
+            tree.nodes[p].firstChild = static_cast<int>(tree.nodes.size());
+            tree.nodes[p].childCount = cfg.fanout;
+            for (int c = 0; c < cfg.fanout; c++) {
+                DagNodeSpec n;
+                n.host = pickChild(tree.nodes[p].host, rng);
+                assert(n.host != tree.nodes[p].host);
+                n.parent = static_cast<int>(p);
+                n.stage = stage;
+                n.respBytes = respBytesFor(stage);
+                if (stage == cfg.depth && cfg.stragglerFraction > 0 &&
+                    rng.chance(cfg.stragglerFraction)) {
+                    const double inflated =
+                        static_cast<double>(n.respBytes) * cfg.stragglerFactor;
+                    n.respBytes = static_cast<uint32_t>(std::min(
+                        inflated, static_cast<double>(1u << 30)));
+                }
+                tree.nodes.push_back(n);
+            }
+        }
+        levelBegin = levelEnd;
+        levelEnd = tree.nodes.size();
+    }
+    return tree;
+}
+
+int64_t dagTreeBytes(const DagConfig& cfg, const DagTreeSpec& tree) {
+    int64_t total = 0;
+    for (size_t i = 1; i < tree.nodes.size(); i++) {
+        total += static_cast<int64_t>(cfg.requestBytes) + tree.nodes[i].respBytes;
+    }
+    return total;
+}
+
+Duration dagTreeIdeal(const DagTreeSpec& tree, uint32_t requestBytes,
+                      const DagCostFn& cost) {
+    if (!cost) return 0;
+    // f(n) = time from "parent sends n's request" to "n's response arrives
+    // back at the parent" = req edge + slowest child's f + resp edge.
+    // Parents precede children in the BFS order, so a reverse pass folds
+    // each node's f into its parent's running max.
+    std::vector<Duration> slowestChild(tree.nodes.size(), 0);
+    for (size_t i = tree.nodes.size(); i-- > 1;) {
+        const DagNodeSpec& n = tree.nodes[i];
+        const HostId parentHost = tree.nodes[n.parent].host;
+        const Duration f = cost(parentHost, n.host, requestBytes) +
+                           slowestChild[i] +
+                           cost(n.host, parentHost, n.respBytes);
+        slowestChild[n.parent] = std::max(slowestChild[n.parent], f);
+    }
+    return slowestChild[0];
+}
+
+DagEngine::DagEngine(const DagConfig& cfg, const SizeDistribution* sizes,
+                     int hostCount, EventLoop& loop, AllocIdFn allocId,
+                     EmitFn emit)
+    : cfg_(cfg),
+      sizes_(sizes),
+      hostCount_(hostCount),
+      loop_(loop),
+      allocId_(std::move(allocId)),
+      emit_(std::move(emit)) {
+    assert(validateDagConfig(cfg_) == nullptr);
+    assert(hostCount_ >= 2);
+    assert(allocId_ && emit_);
+}
+
+void DagEngine::issueTree(HostId root, Rng& rng) {
+    const uint64_t id = nextTree_++;
+    TreeState st;
+    st.root = root;
+    st.issued = loop_.now();
+    st.spec = sampleDagTree(
+        cfg_, sizes_, rng, root, [this](HostId parent, Rng& r) {
+            return uniformHostExcept(hostCount_, parent, r);
+        });
+    st.pending.resize(st.spec.nodes.size());
+    for (size_t i = 0; i < st.spec.nodes.size(); i++) {
+        st.pending[i] = st.spec.nodes[i].childCount;
+    }
+    st.bytes = dagTreeBytes(cfg_, st.spec);
+    issued_++;
+    TreeState& placed = trees_.emplace(id, std::move(st)).first->second;
+    // The root's fan-out: requests to every stage-1 child, sent now (the
+    // caller already bounced through the event loop).
+    const DagNodeSpec& rootNode = placed.spec.nodes[0];
+    for (int c = 0; c < rootNode.childCount; c++) {
+        sendRequest(id, placed, rootNode.firstChild + c);
+    }
+}
+
+void DagEngine::send(uint64_t tree, int node, bool response, HostId src,
+                     HostId dst, uint32_t bytes) {
+    Message m;
+    m.id = allocId_();
+    m.src = src;
+    m.dst = dst;
+    m.length = bytes;
+    // Register before emitting so creation-time observers can resolve it.
+    byMsg_.emplace(m.id, MsgRole{tree, node, response});
+    emit_(m);
+}
+
+void DagEngine::sendRequest(uint64_t tree, TreeState& st, int node) {
+    const DagNodeSpec& n = st.spec.nodes[node];
+    send(tree, node, /*response=*/false, st.spec.nodes[n.parent].host, n.host,
+         cfg_.requestBytes);
+}
+
+void DagEngine::sendResponse(uint64_t tree, TreeState& st, int node) {
+    const DagNodeSpec& n = st.spec.nodes[node];
+    send(tree, node, /*response=*/true, n.host, st.spec.nodes[n.parent].host,
+         n.respBytes);
+}
+
+void DagEngine::onDelivered(const Message& m) {
+    const auto it = byMsg_.find(m.id);
+    if (it == byMsg_.end()) return;  // not one of ours
+    const MsgRole role = it->second;
+    byMsg_.erase(it);
+    const auto treeIt = trees_.find(role.tree);
+    assert(treeIt != trees_.end());
+    TreeState& st = treeIt->second;
+
+    if (!role.response) {
+        // Request arrived at the node: leaves answer, internal nodes fan
+        // out. Bounce through the loop so nothing is emitted from inside
+        // the transport's delivery callback (and to model a minimal
+        // software hand-off).
+        loop_.after(1, [this, tree = role.tree, node = role.node] {
+            const auto tIt = trees_.find(tree);
+            assert(tIt != trees_.end());
+            TreeState& ts = tIt->second;
+            const DagNodeSpec& n = ts.spec.nodes[node];
+            if (n.childCount == 0) {
+                sendResponse(tree, ts, node);
+            } else {
+                for (int c = 0; c < n.childCount; c++) {
+                    sendRequest(tree, ts, n.firstChild + c);
+                }
+            }
+        });
+        return;
+    }
+    // Response delivered at the parent: fan-in accounting.
+    nodeAnswered(role.tree, st, st.spec.nodes[role.node].parent);
+}
+
+void DagEngine::nodeAnswered(uint64_t tree, TreeState& st, int node) {
+    assert(st.pending[node] > 0);
+    if (--st.pending[node] > 0) return;
+    if (node == 0) {
+        // The last stage-1 response reached the root: the tree is done.
+        DagTreeResult r;
+        r.root = st.root;
+        r.issued = st.issued;
+        r.completed = loop_.now();
+        r.nodes = static_cast<int>(st.spec.nodes.size()) - 1;
+        r.bytes = st.bytes;
+        r.ideal = dagTreeIdeal(st.spec, cfg_.requestBytes, cost_);
+        completed_++;
+        trees_.erase(tree);
+        if (onComplete_) onComplete_(r);
+        return;
+    }
+    // All children answered: this node may now answer its own parent.
+    loop_.after(1, [this, tree, node] {
+        const auto tIt = trees_.find(tree);
+        assert(tIt != trees_.end());
+        sendResponse(tree, tIt->second, node);
+    });
+}
+
+std::optional<DagEngine::MsgRole> DagEngine::roleOf(MsgId id) const {
+    const auto it = byMsg_.find(id);
+    if (it == byMsg_.end()) return std::nullopt;
+    return it->second;
+}
+
+const DagTreeSpec* DagEngine::treeSpec(uint64_t tree) const {
+    const auto it = trees_.find(tree);
+    return it == trees_.end() ? nullptr : &it->second.spec;
+}
+
+}  // namespace homa

@@ -19,6 +19,7 @@ const char* patternName(TrafficPatternKind kind) {
         case TrafficPatternKind::ParetoSenders: return "pareto";
         case TrafficPatternKind::TraceReplay: return "trace";
         case TrafficPatternKind::ClosedLoop: return "closed-loop";
+        case TrafficPatternKind::Dag: return "dag";
     }
     return "?";
 }
@@ -28,7 +29,7 @@ bool patternFromName(const std::string& name, TrafficPatternKind& out) {
          {TrafficPatternKind::Uniform, TrafficPatternKind::Permutation,
           TrafficPatternKind::RackSkew, TrafficPatternKind::Incast,
           TrafficPatternKind::ParetoSenders, TrafficPatternKind::TraceReplay,
-          TrafficPatternKind::ClosedLoop}) {
+          TrafficPatternKind::ClosedLoop, TrafficPatternKind::Dag}) {
         if (name == patternName(k)) {
             out = k;
             return true;
@@ -65,7 +66,15 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out) {
         onOff = true;
     }
     ScenarioConfig parsed;
-    if (!patternFromName(pattern, parsed.kind)) return false;
+    // Only dag takes parameters: "dag:fanout=40,depth=2".
+    const size_t colon = pattern.find(':');
+    if (colon != std::string::npos) {
+        if (pattern.substr(0, colon) != "dag") return false;
+        if (!parseDagSpec(pattern.substr(colon + 1), parsed.dag)) return false;
+        parsed.kind = TrafficPatternKind::Dag;
+    } else if (!patternFromName(pattern, parsed.kind)) {
+        return false;
+    }
     parsed.onOff.enabled = onOff;
     out = parsed;
     return true;
@@ -135,9 +144,7 @@ namespace {
 
 /// Uniform destination over all hosts except `src`.
 HostId uniformDst(HostId src, int hostCount, Rng& rng) {
-    HostId dst = static_cast<HostId>(rng.below(hostCount - 1));
-    if (dst >= src) dst++;
-    return dst;
+    return uniformHostExcept(hostCount, src, rng);
 }
 
 class UniformPattern final : public TrafficPattern {
@@ -289,6 +296,22 @@ private:
     int hosts_;
 };
 
+// Dag destinations are chosen per tree node by the DagEngine (uniform,
+// never the parent's host); the pattern object only carries the kind.
+class DagPattern final : public TrafficPattern {
+public:
+    explicit DagPattern(int hostCount) : hosts_(hostCount) {}
+    TrafficPatternKind kind() const override {
+        return TrafficPatternKind::Dag;
+    }
+    HostId pickDestination(HostId src, Rng& rng) const override {
+        return uniformDst(src, hosts_, rng);
+    }
+
+private:
+    int hosts_;
+};
+
 }  // namespace
 
 std::vector<TraceRecord> parseTrace(const std::string& text, int hostCount) {
@@ -362,6 +385,8 @@ std::unique_ptr<TrafficPattern> makeTrafficPattern(const ScenarioConfig& cfg,
                 hostCount, cfg.paretoAlpha, seed);
         case TrafficPatternKind::ClosedLoop:
             return std::make_unique<ClosedLoopPattern>(hostCount);
+        case TrafficPatternKind::Dag:
+            return std::make_unique<DagPattern>(hostCount);
         case TrafficPatternKind::TraceReplay:
             break;
     }

@@ -20,6 +20,7 @@
 #include "sim/packet.h"
 #include "sim/random.h"
 #include "sim/time.h"
+#include "workload/rpc_dag.h"
 
 namespace homa {
 
@@ -31,6 +32,7 @@ enum class TrafficPatternKind {
     ParetoSenders,  // sender popularity ~ rank^-alpha, destinations uniform
     TraceReplay,    // explicit (time, src, dst, size) schedule from text
     ClosedLoop,     // W outstanding messages per host; next issues on delivery
+    Dag,            // fan-out/fan-in RPC trees (partition-aggregate)
 };
 
 /// Returns the canonical name of a pattern ("uniform", "closed-loop", ...).
@@ -103,15 +105,22 @@ struct ScenarioConfig {
     int closedLoopWindow = 4;
     Duration thinkTime = 0;
 
+    // Dag: fan-out/fan-in request trees (see workload/rpc_dag.h). Roots
+    // run closed-loop — `dag.window` trees outstanding each — so `load`
+    // is ignored, like ClosedLoop.
+    DagConfig dag;
+
     // ON-OFF burst/idle modulation; composes with every pattern above
     // except TraceReplay (which carries its own explicit timing).
     OnOffConfig onOff;
 };
 
 /// Parses a scenario spec of the form "<pattern>" or "<pattern>+on-off"
-/// (e.g. "incast+on-off"), leaving all knobs at their defaults. Returns
-/// false and leaves `out` untouched on malformed specs. This is the syntax
-/// the figure benches accept via HOMA_SCENARIO.
+/// (e.g. "incast+on-off"), leaving all knobs at their defaults — except
+/// `dag`, which takes parameters: "dag[:k=v,k=v...][+on-off]", e.g.
+/// "dag:fanout=40,depth=2+on-off" (keys per parseDagSpec). Returns false
+/// and leaves `out` untouched on malformed specs. This is the syntax the
+/// figure benches accept via HOMA_SCENARIO.
 bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out);
 
 /// One trace-replay record; `at` is an offset from TrafficConfig::start.

@@ -68,6 +68,36 @@ TEST(Determinism, ClosedLoopAndOnOffReplayByteIdentically) {
     }
 }
 
+TEST(Determinism, DagTreesReplayByteIdentically) {
+    // The DAG engine's whole cascade — tree shapes, per-node sizes, child
+    // requests, fan-in completions, window refills — must replay
+    // bit-for-bit from the seed; fingerprints cover the per-tree metrics.
+    ExperimentConfig cfg = smallConfig(WorkloadId::W1, 0.5);
+    cfg.traffic.scenario.kind = TrafficPatternKind::Dag;
+    cfg.traffic.scenario.dag.fanout = 4;
+    cfg.traffic.scenario.dag.depth = 2;
+    cfg.traffic.scenario.dag.roots = 8;
+    cfg.traffic.scenario.dag.stageResponseBytes = {4000, 1000};
+
+    ExperimentConfig bursty = cfg;
+    bursty.traffic.scenario.onOff.enabled = true;
+
+    ExperimentConfig sampledSizes = cfg;  // workload-sampled responses
+    sampledSizes.traffic.scenario.dag.stageResponseBytes.clear();
+
+    for (const ExperimentConfig& point : {cfg, bursty, sampledSizes}) {
+        const ExperimentResult a = runExperiment(point);
+        EXPECT_GT(a.delivered, 0u);
+        ASSERT_TRUE(a.dag);
+        EXPECT_GT(a.dag->trees(), 0u);
+        EXPECT_EQ(resultFingerprint(a), resultFingerprint(runExperiment(point)));
+        ExperimentConfig reseeded = point;
+        reseeded.traffic.seed = point.traffic.seed + 1;
+        EXPECT_NE(resultFingerprint(a),
+                  resultFingerprint(runExperiment(reseeded)));
+    }
+}
+
 TEST(Determinism, DifferentSeedsGiveDifferentResults) {
     ExperimentConfig a = smallConfig(WorkloadId::W2, 0.6);
     ExperimentConfig b = a;
@@ -100,6 +130,16 @@ TEST(SweepRunner, ResultsIdenticalAtOneAndManyThreads) {
     ExperimentConfig burstyClosed = closed;
     burstyClosed.traffic.scenario.onOff.enabled = true;
     points.push_back(burstyClosed);
+    ExperimentConfig dag = smallConfig(WorkloadId::W1, 0.5);
+    dag.traffic.scenario.kind = TrafficPatternKind::Dag;
+    dag.traffic.scenario.dag.fanout = 4;
+    dag.traffic.scenario.dag.depth = 2;
+    dag.traffic.scenario.dag.roots = 8;
+    points.push_back(dag);
+    ExperimentConfig burstyDag = dag;
+    burstyDag.traffic.scenario.onOff.enabled = true;
+    burstyDag.proto.kind = Protocol::PFabric;
+    points.push_back(burstyDag);
 
     SweepOptions serial;
     serial.threads = 1;

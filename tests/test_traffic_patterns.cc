@@ -304,11 +304,22 @@ TEST(OnOffArrivals, SpecParsing) {
     ASSERT_TRUE(scenarioFromSpec("closed-loop", s));
     EXPECT_EQ(s.kind, TrafficPatternKind::ClosedLoop);
     EXPECT_FALSE(s.onOff.enabled);
+    // DAG specs carry parameters — the only pattern that takes them.
+    ASSERT_TRUE(scenarioFromSpec("dag:fanout=40,depth=2+on-off", s));
+    EXPECT_EQ(s.kind, TrafficPatternKind::Dag);
+    EXPECT_TRUE(s.onOff.enabled);
+    EXPECT_EQ(s.dag.fanout, 40);
+    EXPECT_EQ(s.dag.depth, 2);
+    ASSERT_TRUE(scenarioFromSpec("dag", s));
+    EXPECT_EQ(s.kind, TrafficPatternKind::Dag);
+    EXPECT_FALSE(s.onOff.enabled);
     ScenarioConfig untouched;
     untouched.kind = TrafficPatternKind::RackSkew;
     EXPECT_FALSE(scenarioFromSpec("bogus+on-off", untouched));
     EXPECT_FALSE(scenarioFromSpec("uniform+onoff", untouched));
     EXPECT_FALSE(scenarioFromSpec("", untouched));
+    EXPECT_FALSE(scenarioFromSpec("dag:fanout=0", untouched));
+    EXPECT_FALSE(scenarioFromSpec("uniform:fanout=2", untouched));
     EXPECT_EQ(untouched.kind, TrafficPatternKind::RackSkew);
 }
 

@@ -1,0 +1,394 @@
+// CI perf-regression gate over the BENCH_*.json artifacts.
+//
+//   bench_compare [--tolerance F] <baseline.json> <current.json> [more pairs...]
+//
+// Compares each current benchmark artifact against its checked-in
+// baseline (bench/baselines/) and exits non-zero when a hot-path metric
+// regressed by more than the tolerance (default 0.15 = 15%; override with
+// --tolerance or the HOMA_BENCH_TOLERANCE env var — CI uses a looser
+// value when baseline and current come from different machines).
+//
+// Two formats are recognized by content:
+//  * Google-benchmark JSON (bench_micro_sched -> BENCH_sched.json):
+//    per-benchmark cpu_time must not grow past baseline * (1 + tol), the
+//    fitted BigO cpu_coefficient likewise, and the complexity-class
+//    string must not change. Note: the micro benches *pin* their class
+//    via ->Complexity(oLogN), so big_o is declared metadata — a real
+//    complexity regression is caught by the large-N cpu_time entries and
+//    the fitted coefficient exploding, while the string equality only
+//    guards deliberate re-pinning. Baseline benchmarks that disappeared
+//    fail; new ones are ignored.
+//  * sweep_speedup JSON (BENCH_sweep.json): the 1-vs-N determinism flag
+//    must be true (a hard failure at any tolerance), and the parallel
+//    speedup must not drop below baseline * (1 - tol).
+//
+// Standard library only — this tool must build with a bare g++ in CI.
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ----------------------------------------------------------- tiny JSON
+// Just enough of RFC 8259 for the benchmark artifacts: objects, arrays,
+// strings (no \u escapes beyond pass-through), numbers, booleans, null.
+struct Json {
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<Json> items;
+    std::map<std::string, Json> fields;
+
+    const Json* get(const std::string& key) const {
+        const auto it = fields.find(key);
+        return it == fields.end() ? nullptr : &it->second;
+    }
+    double num(const std::string& key, double fallback = 0) const {
+        const Json* v = get(key);
+        return v != nullptr && v->kind == Number ? v->number : fallback;
+    }
+    std::string str(const std::string& key) const {
+        const Json* v = get(key);
+        return v != nullptr && v->kind == String ? v->text : std::string();
+    }
+};
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    bool parse(Json& out) {
+        skipSpace();
+        if (!value(out)) return false;
+        skipSpace();
+        return pos_ == s_.size();
+    }
+
+private:
+    void skipSpace() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                       s_[pos_])) != 0) {
+            pos_++;
+        }
+    }
+    bool literal(const char* word) {
+        const size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+    bool value(Json& out) {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+            case '{': return object(out);
+            case '[': return array(out);
+            case '"': out.kind = Json::String; return string(out.text);
+            case 't': out.kind = Json::Bool; out.boolean = true;
+                      return literal("true");
+            case 'f': out.kind = Json::Bool; out.boolean = false;
+                      return literal("false");
+            case 'n': out.kind = Json::Null; return literal("null");
+            default: return number(out);
+        }
+    }
+    bool object(Json& out) {
+        out.kind = Json::Object;
+        pos_++;  // '{'
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == '}') { pos_++; return true; }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!string(key)) return false;
+            skipSpace();
+            if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+            skipSpace();
+            Json v;
+            if (!value(v)) return false;
+            out.fields.emplace(std::move(key), std::move(v));
+            skipSpace();
+            if (pos_ >= s_.size()) return false;
+            if (s_[pos_] == ',') { pos_++; continue; }
+            if (s_[pos_] == '}') { pos_++; return true; }
+            return false;
+        }
+    }
+    bool array(Json& out) {
+        out.kind = Json::Array;
+        pos_++;  // '['
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == ']') { pos_++; return true; }
+        for (;;) {
+            skipSpace();
+            Json v;
+            if (!value(v)) return false;
+            out.items.push_back(std::move(v));
+            skipSpace();
+            if (pos_ >= s_.size()) return false;
+            if (s_[pos_] == ',') { pos_++; continue; }
+            if (s_[pos_] == ']') { pos_++; return true; }
+            return false;
+        }
+    }
+    bool string(std::string& out) {
+        if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+        pos_++;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\' && pos_ < s_.size()) {
+                const char esc = s_[pos_++];
+                switch (esc) {
+                    case 'n': c = '\n'; break;
+                    case 't': c = '\t'; break;
+                    case 'r': c = '\r'; break;
+                    case 'b': c = '\b'; break;
+                    case 'f': c = '\f'; break;
+                    default: c = esc; break;  // '"', '\\', '/', lax \u
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= s_.size()) return false;
+        pos_++;  // closing quote
+        return true;
+    }
+    bool number(Json& out) {
+        char* end = nullptr;
+        out.kind = Json::Number;
+        out.number = std::strtod(s_.c_str() + pos_, &end);
+        if (end == s_.c_str() + pos_) return false;
+        pos_ = static_cast<size_t>(end - s_.c_str());
+        return true;
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+bool loadJson(const std::string& path, Json& out) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (!Parser(text).parse(out)) {
+        std::fprintf(stderr, "bench_compare: %s is not valid JSON\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ comparing
+
+int failures = 0;
+
+void fail(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::fputs("FAIL: ", stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+    failures++;
+}
+
+/// Index google-benchmark entries by name, split by run_type.
+std::map<std::string, const Json*> benchmarksByName(const Json& doc,
+                                                    const char* runType) {
+    std::map<std::string, const Json*> out;
+    const Json* list = doc.get("benchmarks");
+    if (list == nullptr || list->kind != Json::Array) return out;
+    for (const Json& b : list->items) {
+        if (b.str("run_type") == runType) out.emplace(b.str("name"), &b);
+    }
+    return out;
+}
+
+void compareGoogleBenchmark(const std::string& basePath, const Json& base,
+                            const std::string& curPath, const Json& cur,
+                            double tolerance) {
+    const auto baseIters = benchmarksByName(base, "iteration");
+    const auto curIters = benchmarksByName(cur, "iteration");
+    for (const auto& [name, b] : baseIters) {
+        const auto it = curIters.find(name);
+        if (it == curIters.end()) {
+            fail("%s: benchmark '%s' present in baseline %s but missing",
+                 curPath.c_str(), name.c_str(), basePath.c_str());
+            continue;
+        }
+        const double baseTime = b->num("cpu_time");
+        const double curTime = it->second->num("cpu_time");
+        if (baseTime <= 0) continue;
+        const double ratio = curTime / baseTime;
+        if (ratio > 1.0 + tolerance) {
+            fail("%s: '%s' cpu_time %.1f ns vs baseline %.1f ns "
+                 "(%.0f%% slower, tolerance %.0f%%)",
+                 curPath.c_str(), name.c_str(), curTime, baseTime,
+                 100.0 * (ratio - 1.0), 100.0 * tolerance);
+        } else {
+            std::printf("ok: %-40s %10.1f ns vs %10.1f ns (%+.1f%%)\n",
+                        name.c_str(), curTime, baseTime,
+                        100.0 * (ratio - 1.0));
+        }
+    }
+    // BigO aggregates. The class string is pinned by the bench source, so
+    // its equality only guards deliberate re-pinning; the *fitted*
+    // coefficient is a measurement — a complexity regression inflates it
+    // (the fit is dominated by the largest N) far beyond any tolerance.
+    const auto baseAggr = benchmarksByName(base, "aggregate");
+    const auto curAggr = benchmarksByName(cur, "aggregate");
+    for (const auto& [name, b] : baseAggr) {
+        if (b->str("aggregate_name") != "BigO") continue;
+        const auto it = curAggr.find(name);
+        if (it == curAggr.end()) {
+            fail("%s: BigO aggregate '%s' missing vs baseline",
+                 curPath.c_str(), name.c_str());
+            continue;
+        }
+        const std::string baseO = b->str("big_o");
+        const std::string curO = it->second->str("big_o");
+        if (baseO != curO) {
+            fail("%s: '%s' complexity class changed: %s -> %s "
+                 "(update bench/baselines/ if intentional)",
+                 curPath.c_str(), name.c_str(), baseO.c_str(), curO.c_str());
+            continue;
+        }
+        const double baseCoef = b->num("cpu_coefficient");
+        const double curCoef = it->second->num("cpu_coefficient");
+        if (baseCoef > 0 && curCoef / baseCoef > 1.0 + tolerance) {
+            fail("%s: '%s' fitted %s coefficient %.1f vs baseline %.1f "
+                 "(%.0f%% worse, tolerance %.0f%%)",
+                 curPath.c_str(), name.c_str(), curO.c_str(), curCoef,
+                 baseCoef, 100.0 * (curCoef / baseCoef - 1.0),
+                 100.0 * tolerance);
+        } else {
+            std::printf("ok: %-40s complexity %s, coefficient %.1f\n",
+                        name.c_str(), curO.c_str(), curCoef);
+        }
+    }
+}
+
+void compareSweep(const std::string& basePath, const Json& base,
+                  const std::string& curPath, const Json& cur,
+                  double tolerance) {
+    const Json* identical = cur.get("results_identical_across_thread_counts");
+    if (identical == nullptr || identical->kind != Json::Bool ||
+        !identical->boolean) {
+        fail("%s: results_identical_across_thread_counts is not true — the "
+             "parallel sweep runner broke determinism", curPath.c_str());
+    } else {
+        std::printf("ok: sweep results identical across thread counts\n");
+    }
+    const double baseSpeedup = base.num("speedup");
+    const double curSpeedup = cur.num("speedup");
+    if (baseSpeedup > 0) {
+        if (curSpeedup < baseSpeedup * (1.0 - tolerance)) {
+            fail("%s: sweep speedup %.3f vs baseline %.3f in %s "
+                 "(tolerance %.0f%%)",
+                 curPath.c_str(), curSpeedup, baseSpeedup, basePath.c_str(),
+                 100.0 * tolerance);
+        } else {
+            std::printf("ok: sweep speedup %.3f vs baseline %.3f\n",
+                        curSpeedup, baseSpeedup);
+        }
+    }
+}
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--tolerance F] "
+                 "[--skip-missing-current] "
+                 "<baseline.json> <current.json> [more pairs...]\n");
+    std::exit(2);
+}
+
+bool parseTolerance(const char* text, double& out) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(v >= 0) || v > 10) return false;
+    out = v;
+    return true;
+}
+
+bool fileExists(const std::string& path) {
+    std::ifstream in(path);
+    return static_cast<bool>(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    double tolerance = 0.15;
+    bool skipMissingCurrent = false;
+    if (const char* env = std::getenv("HOMA_BENCH_TOLERANCE")) {
+        if (!parseTolerance(env, tolerance)) {
+            std::fprintf(stderr,
+                         "bench_compare: HOMA_BENCH_TOLERANCE must be a "
+                         "number in [0, 10], got '%s'\n", env);
+            return 2;
+        }
+    }
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--tolerance") == 0) {
+            if (i + 1 >= argc || !parseTolerance(argv[i + 1], tolerance)) {
+                usage();
+            }
+            i++;
+        } else if (std::strcmp(argv[i], "--skip-missing-current") == 0) {
+            skipMissingCurrent = true;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.empty() || paths.size() % 2 != 0) usage();
+
+    for (size_t i = 0; i < paths.size(); i += 2) {
+        const std::string& basePath = paths[i];
+        const std::string& curPath = paths[i + 1];
+        // ctest registers the gate against the gitignored bench outputs,
+        // which a fresh checkout does not have — skipping (loudly) beats
+        // freezing a fallback path at configure time.
+        if (skipMissingCurrent && !fileExists(curPath)) {
+            std::printf("skip: %s not present (benches have not run on "
+                        "this machine)\n", curPath.c_str());
+            continue;
+        }
+        Json base, cur;
+        if (!loadJson(basePath, base) || !loadJson(curPath, cur)) {
+            failures++;
+            continue;
+        }
+        std::printf("--- %s vs baseline %s (tolerance %.0f%%) ---\n",
+                    curPath.c_str(), basePath.c_str(), 100.0 * tolerance);
+        if (base.get("benchmarks") != nullptr) {
+            compareGoogleBenchmark(basePath, base, curPath, cur, tolerance);
+        } else if (base.str("bench") == "sweep_speedup") {
+            compareSweep(basePath, base, curPath, cur, tolerance);
+        } else {
+            fail("%s: unrecognized benchmark artifact format",
+                 basePath.c_str());
+        }
+    }
+    if (failures > 0) {
+        std::fprintf(stderr, "bench_compare: %d regression(s)\n", failures);
+        return 1;
+    }
+    std::printf("bench_compare: all metrics within tolerance\n");
+    return 0;
+}
