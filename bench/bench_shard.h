@@ -1,0 +1,211 @@
+// Distributed-sweep CLI plumbing shared by the sweep benches.
+//
+// Every SweepRunner-based bench (sweep_speedup, fig12_13, fig14, table1,
+// fig_dag) grows the same two flags through this header:
+//
+//   --shard=i/N            run only shard i of N (global-index seeds, so
+//                          the slice is byte-identical to the same points
+//                          of an unsharded run) and write a shard results
+//                          file instead of the human-readable table
+//   --merge <files...>     merge shard results files (any order) into a
+//                          full-coverage results file, verifying complete
+//                          non-overlapping coverage
+//   --results FILE         where to write the shard/merged file
+//                          (defaults: <sweep>.shard<i>of<N>.json in
+//                          shard mode, <sweep>.merged.json in merge
+//                          mode; the chosen path is printed either way)
+//   --verify-against FILE  with --merge: compare the merged sweep
+//                          fingerprint (and every per-point fingerprint)
+//                          against another results file — the unsharded
+//                          run — and fail on any difference
+//
+// The heavy lifting (formats, merge validation, fingerprints) lives in
+// src/driver/sweep_shard.*; this header only adapts argv and prints.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/sweep_shard.h"
+
+namespace homa::bench {
+
+struct SweepCli {
+    bool sharded = false;
+    ShardSpec shard;
+    bool merge = false;
+    std::vector<std::string> mergeInputs;
+    std::string resultsOut;
+    std::string verifyAgainst;
+    /// Args not consumed by the shard/merge flags, for the bench's own
+    /// positional parameters (e.g. sweep_speedup's output path).
+    std::vector<std::string> positional;
+};
+
+/// Parses the shared sweep flags out of argv; exits(2) with a usage
+/// message on a malformed flag. Everything unrecognized lands in
+/// `positional` untouched.
+inline SweepCli parseSweepCli(int argc, char** argv) {
+    SweepCli cli;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto needValue = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg.rfind("--shard=", 0) == 0) {
+            if (!parseShardSpec(arg.substr(8), cli.shard)) {
+                std::fprintf(stderr,
+                             "--shard expects i/N with 0 <= i < N, got "
+                             "'%s'\n", arg.c_str() + 8);
+                std::exit(2);
+            }
+            cli.sharded = true;
+        } else if (arg == "--shard") {
+            const std::string spec = needValue("--shard");
+            if (!parseShardSpec(spec, cli.shard)) {
+                std::fprintf(stderr,
+                             "--shard expects i/N with 0 <= i < N, got "
+                             "'%s'\n", spec.c_str());
+                std::exit(2);
+            }
+            cli.sharded = true;
+        } else if (arg == "--merge") {
+            cli.merge = true;
+        } else if (arg == "--results") {
+            cli.resultsOut = needValue("--results");
+        } else if (arg == "--verify-against") {
+            cli.verifyAgainst = needValue("--verify-against");
+        } else if (cli.merge) {
+            cli.mergeInputs.push_back(arg);
+        } else {
+            cli.positional.push_back(arg);
+        }
+    }
+    if (cli.sharded && cli.merge) {
+        std::fprintf(stderr, "--shard and --merge are mutually exclusive\n");
+        std::exit(2);
+    }
+    if (cli.merge && cli.mergeInputs.empty()) {
+        std::fprintf(stderr, "--merge needs at least one shard file\n");
+        std::exit(2);
+    }
+    if (!cli.verifyAgainst.empty() && !cli.merge) {
+        std::fprintf(stderr, "--verify-against only applies to --merge\n");
+        std::exit(2);
+    }
+    return cli;
+}
+
+/// Compares two results files via the library's sweepsIdentical oracle;
+/// prints the divergences (or the success line). Returns true when
+/// byte-identical.
+inline bool verifySameSweep(const ShardFile& merged, const ShardFile& ref) {
+    std::string err;
+    if (!sweepsIdentical(merged, ref, err)) {
+        std::fprintf(stderr, "verify: %s\n", err.c_str());
+        return false;
+    }
+    std::printf("verify: merged sweep identical to the reference run "
+                "(fingerprint %s, %zu points)\n",
+                sweepFingerprint(merged.points).c_str(),
+                merged.points.size());
+    return true;
+}
+
+/// --shard mode driver: run the slice, write the shard results file,
+/// print a short summary. Returns the process exit code.
+inline int runShardedSweep(const char* sweepName, const SweepCli& cli,
+                           const SweepOptions& opts,
+                           std::vector<ExperimentConfig> configs,
+                           const std::vector<std::string>& labels) {
+    const size_t total = configs.size();
+    const ShardOutcome outcome =
+        SweepRunner(opts).runShard(std::move(configs), cli.shard);
+    const ShardFile f =
+        shardFileFromOutcome(sweepName, opts, cli.shard, outcome, labels);
+    std::string path = cli.resultsOut;
+    if (path.empty()) {
+        path = std::string(sweepName) + ".shard" +
+               std::to_string(cli.shard.index) + "of" +
+               std::to_string(cli.shard.count) + ".json";
+    }
+    if (!writeTextFile(path, writeShardFile(f))) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("shard %d/%d: %zu of %zu points on %d threads in %.2f s, "
+                "fingerprint %s\nwrote %s\n",
+                cli.shard.index, cli.shard.count, outcome.indices.size(),
+                total, outcome.threadsUsed, outcome.wallSeconds,
+                sweepFingerprint(f.points).c_str(), path.c_str());
+    return 0;
+}
+
+/// --merge mode driver: parse + merge the shard files, optionally verify
+/// against a reference results file, write the merged file. Returns the
+/// process exit code.
+inline int runShardMerge(const char* sweepName, const SweepCli& cli) {
+    std::vector<ShardFile> shards;
+    for (const std::string& path : cli.mergeInputs) {
+        std::string text, err;
+        ShardFile f;
+        if (!readTextFile(path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 1;
+        }
+        if (!parseShardFile(text, f, err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+            return 1;
+        }
+        shards.push_back(std::move(f));
+    }
+    ShardFile merged;
+    std::string err;
+    if (!mergeShardFiles(shards, merged, err)) {
+        std::fprintf(stderr, "merge failed: %s\n", err.c_str());
+        return 1;
+    }
+    if (sweepName != nullptr && merged.sweep != sweepName) {
+        std::fprintf(stderr,
+                     "merge: shard files are from sweep \"%s\", not "
+                     "\"%s\"\n", merged.sweep.c_str(), sweepName);
+        return 1;
+    }
+    std::printf("merged %zu shard files: %zu points, fingerprint %s\n",
+                shards.size(), merged.points.size(),
+                sweepFingerprint(merged.points).c_str());
+    if (!cli.verifyAgainst.empty()) {
+        std::string text;
+        ShardFile ref;
+        if (!readTextFile(cli.verifyAgainst, text)) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         cli.verifyAgainst.c_str());
+            return 1;
+        }
+        if (!parseShardFile(text, ref, err)) {
+            std::fprintf(stderr, "%s: %s\n", cli.verifyAgainst.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        if (!verifySameSweep(merged, ref)) return 1;
+    }
+    std::string path = cli.resultsOut;
+    if (path.empty()) path = merged.sweep + ".merged.json";
+    if (!writeTextFile(path,
+                       writeShardFile(merged, benchCompatExtras(merged)))) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+}  // namespace homa::bench

@@ -6,8 +6,10 @@
 // load they support (pHost ~60%, NDP ~70%); the 50% row runs everyone at
 // 50%. The whole load x workload x protocol grid fans out across cores via
 // SweepRunner (results are identical to the sequential run); HOMA_SCENARIO
-// selects a non-uniform traffic pattern.
+// selects a non-uniform traffic pattern. --shard=i/N / --merge distribute
+// the grid across machines (see bench/bench_shard.h).
 #include "bench_common.h"
+#include "bench_shard.h"
 
 using namespace homa;
 using namespace homa::bench;
@@ -39,7 +41,9 @@ struct Point {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.merge) return runShardMerge("fig12_13", cli);
     printHeader("Figures 12 & 13: simulation slowdown comparison",
                 "99th-percentile and median one-way slowdown vs message "
                 "size, 144-host fat-tree");
@@ -68,6 +72,17 @@ int main() {
                 configs.push_back(std::move(cfg));
             }
         }
+    }
+    if (cli.sharded) {
+        std::vector<std::string> labels;
+        labels.reserve(points.size());
+        for (const Point& p : points) {
+            labels.push_back(workload(p.wl).name() + "/" + p.label + "@" +
+                             std::to_string(
+                                 static_cast<int>(p.requestedLoad * 100)));
+        }
+        return runShardedSweep("fig12_13", cli, sweepOptionsFromEnv(),
+                               std::move(configs), labels);
     }
     SweepOutcome sweep = SweepRunner(sweepOptionsFromEnv()).run(std::move(configs));
 

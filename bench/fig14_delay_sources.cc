@@ -3,25 +3,35 @@
 // delay (waiting behind equal/higher-priority packets) and preemption lag
 // (a packet already mid-transmission on a link cannot be preempted).
 // The five workload points run in parallel via SweepRunner; HOMA_SCENARIO
-// selects a non-uniform traffic pattern.
+// selects a non-uniform traffic pattern. --shard=i/N / --merge distribute
+// the points across machines (see bench/bench_shard.h).
 #include "bench_common.h"
+#include "bench_shard.h"
 
 using namespace homa;
 using namespace homa::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.merge) return runShardMerge("fig14", cli);
     printHeader("Figure 14: sources of tail delay for short messages",
                 "mean queueing delay and preemption lag (us) among short "
                 "messages near p99, Homa at 80% load");
 
     std::vector<ExperimentConfig> configs;
+    std::vector<std::string> labels;
     for (WorkloadId wl : kAllWorkloads) {
         ExperimentConfig cfg;
         cfg.traffic.workload = wl;
         cfg.traffic.load = 0.8;
         cfg.traffic.stop = simWindow();
         cfg.traffic.scenario = scenarioFromEnv();
+        labels.push_back(workload(wl).name());
         configs.push_back(std::move(cfg));
+    }
+    if (cli.sharded) {
+        return runShardedSweep("fig14", cli, sweepOptionsFromEnv(),
+                               std::move(configs), labels);
     }
     SweepOutcome sweep = SweepRunner(sweepOptionsFromEnv()).run(std::move(configs));
 

@@ -10,8 +10,10 @@
 // regime with dependencies), a two-level partition-aggregate, and the
 // same two-level tree with a 10% straggler shard. The whole protocol x
 // shape grid fans out across cores via SweepRunner; HOMA_SCENARIO does
-// not apply (the scenario *is* the subject).
+// not apply (the scenario *is* the subject). --shard=i/N / --merge
+// distribute the grid across machines (see bench/bench_shard.h).
 #include "bench_common.h"
+#include "bench_shard.h"
 
 using namespace homa;
 using namespace homa::bench;
@@ -49,7 +51,9 @@ std::vector<Shape> shapes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.merge) return runShardMerge("fig_dag", cli);
     printHeader("DAG slowdown: fan-out/fan-in RPC dependency trees",
                 "per-tree completion and slowdown, partition-aggregate "
                 "workloads, 144-host fat-tree");
@@ -62,6 +66,7 @@ int main() {
 
     std::vector<Shape> grid = shapes();
     std::vector<ExperimentConfig> configs;
+    std::vector<std::string> labels;
     for (const Shape& shape : grid) {
         for (const auto& [name, kind] : protocols) {
             ExperimentConfig cfg;
@@ -70,8 +75,13 @@ int main() {
             cfg.traffic.stop = fullScale() ? milliseconds(40) : milliseconds(4);
             cfg.traffic.scenario.kind = TrafficPatternKind::Dag;
             cfg.traffic.scenario.dag = shape.dag;
+            labels.push_back(std::string(name) + "/" + shape.name);
             configs.push_back(std::move(cfg));
         }
+    }
+    if (cli.sharded) {
+        return runShardedSweep("fig_dag", cli, sweepOptionsFromEnv(),
+                               std::move(configs), labels);
     }
     SweepOutcome sweep = SweepRunner(sweepOptionsFromEnv()).run(std::move(configs));
 

@@ -6,6 +6,19 @@
 // trustworthy), and reports the wall-clock speedup as JSON:
 //
 //   ./bench_sweep_speedup [output.json]     (default BENCH_sweep.json)
+//
+// The artifact doubles as a distributed-sweep results file
+// (docs/BENCHMARKS.md): it carries per-point resultFingerprint records,
+// so the same binary shards and reassembles the sweep across machines:
+//
+//   ./bench_sweep_speedup --shard=i/N [shard.json]
+//       run only shard i of N (identical per-point seeds to the full
+//       run) and emit a mergeable fragment
+//   ./bench_sweep_speedup --merge <shard.json...> [--results merged.json]
+//       [--verify-against full.json]
+//       reassemble fragments into a full BENCH_sweep.json-compatible
+//       artifact, rejecting overlap/gaps; --verify-against proves the
+//       merged sweep byte-identical to an unsharded run
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -13,12 +26,34 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_shard.h"
 
 using namespace homa;
 using namespace homa::bench;
 
 int main(int argc, char** argv) {
-    const std::string outPath = argc > 1 ? argv[1] : "BENCH_sweep.json";
+    SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.merge) {
+        if (cli.resultsOut.empty()) {
+            cli.resultsOut = cli.positional.empty() ? "BENCH_sweep.json"
+                                                    : cli.positional[0];
+        }
+        return runShardMerge("sweep_speedup", cli);
+    }
+    const ShardSpec shard = cli.sharded ? cli.shard : ShardSpec{0, 1};
+    std::string outPath = cli.positional.empty() ? "" : cli.positional[0];
+    if (!outPath.empty() && !cli.resultsOut.empty()) {
+        std::fprintf(stderr, "give either a positional output path or "
+                             "--results, not both\n");
+        return 2;
+    }
+    if (outPath.empty()) outPath = cli.resultsOut;
+    if (outPath.empty()) {
+        outPath = cli.sharded
+                      ? "BENCH_sweep.shard" + std::to_string(shard.index) +
+                            "of" + std::to_string(shard.count) + ".json"
+                      : "BENCH_sweep.json";
+    }
     printHeader("SweepRunner: multi-core sweep speedup",
                 "parallel figure-bench harness (BENCH_sweep.json)");
 
@@ -49,53 +84,53 @@ int main(int argc, char** argv) {
     SweepOptions serial;
     serial.threads = 1;
     serial.deriveSeeds = true;
-    SweepOutcome one = SweepRunner(serial).run(points);
+    const ShardOutcome one = SweepRunner(serial).runShard(points, shard);
 
     SweepOptions parallel = serial;
     // All cores, but at least 4 workers so the identity check exercises
     // real thread interleaving even on small machines.
     parallel.threads =
         std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
-    SweepOutcome many = SweepRunner(parallel).run(points);
+    const ShardOutcome many = SweepRunner(parallel).runShard(points, shard);
 
     bool identical = true;
-    for (size_t i = 0; i < points.size(); i++) {
-        if (resultFingerprint(one.results[i]) !=
-            resultFingerprint(many.results[i])) {
+    for (size_t k = 0; k < one.results.size(); k++) {
+        if (resultFingerprint(one.results[k]) !=
+            resultFingerprint(many.results[k])) {
             identical = false;
-            std::printf("MISMATCH at point %zu (%s)\n", i, labels[i].c_str());
+            std::printf("MISMATCH at point %llu (%s)\n",
+                        static_cast<unsigned long long>(one.indices[k]),
+                        labels[one.indices[k]].c_str());
         }
     }
 
     const double speedup =
         many.wallSeconds > 0 ? one.wallSeconds / many.wallSeconds : 0;
-    std::printf("%zu points: %.2f s on 1 thread, %.2f s on %d threads "
-                "(%.2fx), results identical: %s\n",
-                points.size(), one.wallSeconds, many.wallSeconds,
-                many.threadsUsed, speedup, identical ? "yes" : "NO");
+    std::printf("shard %d/%d, %zu of %zu points: %.2f s on 1 thread, "
+                "%.2f s on %d threads (%.2fx), results identical: %s\n",
+                shard.index, shard.count, one.results.size(), points.size(),
+                one.wallSeconds, many.wallSeconds, many.threadsUsed, speedup,
+                identical ? "yes" : "NO");
 
-    FILE* out = std::fopen(outPath.c_str(), "w");
-    if (out == nullptr) {
+    ShardFile f =
+        shardFileFromOutcome("sweep_speedup", parallel, shard, many, labels);
+    f.serialWallSeconds = one.wallSeconds;
+    f.identical = identical;
+    std::string extras = benchCompatExtras(f);
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "  \"scale\": \"%s\",\n",
+                      fullScale() ? "full" : "quick");
+        extras += buf;
+        std::snprintf(buf, sizeof(buf), "  \"hardware_cores\": %u,\n",
+                      std::thread::hardware_concurrency());
+        extras += buf;
+    }
+    if (!writeTextFile(outPath, writeShardFile(f, extras))) {
         std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
         return 1;
     }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"sweep_speedup\",\n"
-                 "  \"points\": %zu,\n"
-                 "  \"scale\": \"%s\",\n"
-                 "  \"wall_seconds_1_thread\": %.3f,\n"
-                 "  \"wall_seconds_parallel\": %.3f,\n"
-                 "  \"hardware_cores\": %u,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"results_identical_across_thread_counts\": %s\n"
-                 "}\n",
-                 points.size(), fullScale() ? "full" : "quick",
-                 one.wallSeconds, many.wallSeconds,
-                 std::thread::hardware_concurrency(), many.threadsUsed,
-                 speedup, identical ? "true" : "false");
-    std::fclose(out);
-    std::printf("wrote %s\n", outPath.c_str());
+    std::printf("sweep fingerprint %s\nwrote %s\n",
+                sweepFingerprint(f.points).c_str(), outPath.c_str());
     return identical ? 0 : 1;
 }

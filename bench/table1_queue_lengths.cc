@@ -4,24 +4,34 @@
 // bounded TOR->host occupancy from overcommitment + unscheduled bursts).
 // The five workload points run in parallel via SweepRunner; HOMA_SCENARIO
 // selects a non-uniform traffic pattern (incast/rack-skew shift where the
-// buffering shows up).
+// buffering shows up). --shard=i/N / --merge distribute the points across
+// machines (see bench/bench_shard.h).
 #include "bench_common.h"
+#include "bench_shard.h"
 
 using namespace homa;
 using namespace homa::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.merge) return runShardMerge("table1", cli);
     printHeader("Table 1: switch queue lengths at 80% load",
                 "mean/max queued Kbytes per egress port, by network level");
 
     std::vector<ExperimentConfig> configs;
+    std::vector<std::string> labels;
     for (WorkloadId wl : kAllWorkloads) {
         ExperimentConfig cfg;
         cfg.traffic.workload = wl;
         cfg.traffic.load = 0.8;
         cfg.traffic.stop = simWindow();
         cfg.traffic.scenario = scenarioFromEnv();
+        labels.push_back(workload(wl).name());
         configs.push_back(std::move(cfg));
+    }
+    if (cli.sharded) {
+        return runShardedSweep("table1", cli, sweepOptionsFromEnv(),
+                               std::move(configs), labels);
     }
     SweepOutcome sweep = SweepRunner(sweepOptionsFromEnv()).run(std::move(configs));
 

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
+#include <tuple>
+#include <utility>
 
 #include "sim/random.h"
 
@@ -14,22 +17,66 @@ uint64_t deriveSweepSeed(uint64_t base, uint64_t index) {
     return mix64(base + (index + 1) * kGoldenGamma);
 }
 
-SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
-    SweepOutcome out;
-    if (opts_.deriveSeeds) {
-        for (size_t i = 0; i < points.size(); i++) {
-            points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
-        }
+const char* validateShardSpec(const ShardSpec& s) {
+    if (s.count < 1) return "shard count must be >= 1";
+    if (s.index < 0 || s.index >= s.count) {
+        return "shard index must be in [0, count)";
     }
-    int threads = opts_.threads;
+    return nullptr;
+}
+
+bool parseShardSpec(const std::string& text, ShardSpec& out) {
+    const size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        return false;
+    }
+    ShardSpec s;
+    char* end = nullptr;
+    const std::string idx = text.substr(0, slash);
+    const std::string cnt = text.substr(slash + 1);
+    const long i = std::strtol(idx.c_str(), &end, 10);
+    if (end != idx.c_str() + idx.size()) return false;
+    const long n = std::strtol(cnt.c_str(), &end, 10);
+    if (end != cnt.c_str() + cnt.size()) return false;
+    if (i < 0 || n < 1 || i >= n || n > 1'000'000) return false;
+    s.index = static_cast<int>(i);
+    s.count = static_cast<int>(n);
+    if (validateShardSpec(s) != nullptr) return false;
+    out = s;
+    return true;
+}
+
+bool shardOwns(const ShardSpec& s, uint64_t pointIndex) {
+    return pointIndex % static_cast<uint64_t>(s.count) ==
+           static_cast<uint64_t>(s.index);
+}
+
+std::vector<uint64_t> shardPointIndices(const ShardSpec& s,
+                                        uint64_t totalPoints) {
+    std::vector<uint64_t> out;
+    for (uint64_t i = static_cast<uint64_t>(s.index); i < totalPoints;
+         i += static_cast<uint64_t>(s.count)) {
+        out.push_back(i);
+    }
+    return out;
+}
+
+namespace {
+
+/// Shared parallel section of run()/runShard(): fan `points` across a
+/// pool, collecting results into slots[i] (input order). Returns
+/// (threadsUsed, wallSeconds).
+std::pair<int, double> fanOut(const std::vector<ExperimentConfig>& points,
+                              std::vector<ExperimentResult>& slots,
+                              int threads) {
     if (threads <= 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());
         if (threads <= 0) threads = 1;
     }
     threads = std::min<int>(threads, static_cast<int>(points.size()));
     threads = std::max(threads, 1);
-    out.threadsUsed = threads;
-    out.results.resize(points.size());
+    slots.resize(points.size());
 
     const auto t0 = std::chrono::steady_clock::now();
     // Pre-build the workload caches once, serially: worker threads then
@@ -44,7 +91,7 @@ SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
         for (;;) {
             const size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size()) return;
-            out.results[i] = runExperiment(points[i]);
+            slots[i] = runExperiment(points[i]);
         }
     };
     if (threads == 1) {
@@ -55,9 +102,47 @@ SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
         for (int t = 0; t < threads; t++) pool.emplace_back(worker);
         for (auto& t : pool) t.join();
     }
-    out.wallSeconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    return {threads, wall};
+}
+
+}  // namespace
+
+SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
+    SweepOutcome out;
+    if (opts_.deriveSeeds) {
+        for (size_t i = 0; i < points.size(); i++) {
+            points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
+        }
+    }
+    std::tie(out.threadsUsed, out.wallSeconds) =
+        fanOut(points, out.results, opts_.threads);
+    return out;
+}
+
+ShardOutcome SweepRunner::runShard(std::vector<ExperimentConfig> points,
+                                   const ShardSpec& shard) const {
+    ShardOutcome out;
+    out.totalPoints = points.size();
+    // Seed derivation over *global* indices, before slicing: point i gets
+    // the exact seed it would get in a single-machine run.
+    if (opts_.deriveSeeds) {
+        for (size_t i = 0; i < points.size(); i++) {
+            points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
+        }
+    }
+    out.indices = shardPointIndices(shard, points.size());
+    std::vector<ExperimentConfig> slice;
+    slice.reserve(out.indices.size());
+    out.seeds.reserve(out.indices.size());
+    for (uint64_t i : out.indices) {
+        out.seeds.push_back(points[i].traffic.seed);
+        slice.push_back(std::move(points[i]));
+    }
+    std::tie(out.threadsUsed, out.wallSeconds) =
+        fanOut(slice, out.results, opts_.threads);
     return out;
 }
 

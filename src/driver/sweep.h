@@ -45,6 +45,50 @@ struct SweepOutcome {
     int threadsUsed = 1;
 };
 
+/// One machine's slice of a distributed sweep: shard `index` of `count`.
+///
+/// The point-to-shard assignment is deterministic and positional — shard
+/// k owns every global point index i with `i % count == k` (round-robin,
+/// so a grid whose expensive points cluster at one end still spreads
+/// them across shards). Because the assignment and the per-point seed
+/// derivation are both pure functions of the global index, a sharded run
+/// executes byte-for-byte the same experiments a single-machine run
+/// would, whatever the shard count.
+struct ShardSpec {
+    int index = 0;  ///< 0-based shard id, in [0, count).
+    int count = 1;  ///< Total number of shards (>= 1).
+};
+
+/// Returns nullptr when `s` is valid, else a static string describing
+/// the problem (count < 1, or index outside [0, count)).
+const char* validateShardSpec(const ShardSpec& s);
+
+/// Parses "i/N" (e.g. "0/3") into a ShardSpec; returns false — leaving
+/// `out` untouched — on malformed text or a spec validateShardSpec
+/// rejects. The grammar matches the benches' --shard=i/N flag.
+bool parseShardSpec(const std::string& text, ShardSpec& out);
+
+/// True when shard `s` owns global point index `pointIndex`
+/// (pointIndex % count == index).
+bool shardOwns(const ShardSpec& s, uint64_t pointIndex);
+
+/// The ascending global indices shard `s` owns out of `totalPoints`.
+std::vector<uint64_t> shardPointIndices(const ShardSpec& s,
+                                        uint64_t totalPoints);
+
+/// The slice of a sweep one shard ran. `indices[k]` is the global point
+/// index of `results[k]`/`seeds[k]`; indices are ascending. A shard of a
+/// larger grid than it has points (count > totalPoints) is legitimately
+/// empty.
+struct ShardOutcome {
+    std::vector<uint64_t> indices;          ///< global indices, ascending
+    std::vector<ExperimentResult> results;  ///< results[k] ~ indices[k]
+    std::vector<uint64_t> seeds;            ///< effective traffic.seed per run
+    uint64_t totalPoints = 0;               ///< size of the full grid
+    double wallSeconds = 0;
+    int threadsUsed = 1;
+};
+
 /// Fans a vector of experiment points across a thread pool; results are
 /// byte-identical whatever the thread count (see the file comment for the
 /// contract that makes this trustworthy).
@@ -54,6 +98,16 @@ public:
 
     /// Run every point; results[i] always corresponds to points[i].
     SweepOutcome run(std::vector<ExperimentConfig> points) const;
+
+    /// Run only the points `shard` owns, with the exact per-point seeds
+    /// the full grid would use: seed derivation (when
+    /// SweepOptions::deriveSeeds is set) happens over *global* indices
+    /// before the slice is taken, so `results[k]` is byte-identical to
+    /// `run(points).results[indices[k]]`. Merging every shard's outcome
+    /// in index order therefore reproduces the single-machine sweep
+    /// bit-for-bit (see sweep_shard.h for the file format + merge).
+    ShardOutcome runShard(std::vector<ExperimentConfig> points,
+                          const ShardSpec& shard) const;
 
 private:
     SweepOptions opts_;

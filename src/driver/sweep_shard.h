@@ -1,0 +1,159 @@
+// Distributed sweep sharding: serializable partial results + merge.
+//
+// A sweep sharded with SweepRunner::runShard() runs byte-for-byte the
+// same experiments as a single-machine run (global-index seed
+// derivation, positional i % count point assignment — see sweep.h). This
+// module makes that distributable: each shard writes a small JSON
+// results file (per-point resultFingerprint strings keyed by global
+// index, plus enough header to reject mismatched shards), and the merge
+// step reassembles input-order results from any number of shard files —
+// verifying complete, non-overlapping coverage — so the merged
+// sweepFingerprint() can be compared bit-for-bit against an unsharded
+// run's. A work-unit manifest describes the fan-out (which shard runs
+// which points, with ready-to-paste --shard=i/N args) for whatever
+// launches the machines.
+//
+// Producers/consumers: the sweep benches' --shard=i/N / --merge flags
+// (bench/bench_shard.h), the tools/sweep_shard.cc CLI (plan + merge),
+// and the CI distributed-sweep job. The formats are versioned by a
+// "format" field; parsers reject unknown versions rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.h"
+
+namespace homa {
+
+/// Hard cap on the grid size the file formats accept. A sanity bound,
+/// not a real limit (today's grids are tens of points): it keeps a
+/// corrupt or hostile "total_points" header from driving the merge's
+/// slot allocation or the manifest writer's point lists to OOM.
+constexpr uint64_t kMaxSweepPoints = 1'000'000;
+
+/// One sweep point's record in a shard results file.
+struct ShardPoint {
+    uint64_t index = 0;       ///< global point index in the full grid
+    uint64_t seed = 0;        ///< effective traffic.seed the point ran with
+    std::string label;        ///< human label ("Homa/W3/incast"); may be empty
+    std::string fingerprint;  ///< resultFingerprint() of the point's result
+};
+
+/// A shard results file (format "homa-sweep-shard-v1"): the slice of a
+/// sweep one machine ran, self-describing enough that merging can reject
+/// files from a different sweep, grid size, seed rule, or shard layout.
+/// A fully merged sweep is the same structure with shard = {0, 1} and
+/// every point present.
+struct ShardFile {
+    std::string sweep;          ///< sweep name ("sweep_speedup", "fig12_13")
+    ShardSpec shard;            ///< which slice this file holds
+    uint64_t totalPoints = 0;   ///< size of the full grid
+    uint64_t baseSeed = 0;      ///< SweepOptions::baseSeed used
+    bool deriveSeeds = false;   ///< SweepOptions::deriveSeeds used
+    int threads = 1;            ///< workers this shard ran with
+    double wallSeconds = 0;     ///< shard wall time (parallel pass)
+    /// Wall time of an additional 1-thread verification pass, when the
+    /// producing bench ran one (sweep_speedup does); 0 otherwise.
+    double serialWallSeconds = 0;
+    /// Per-shard 1-vs-N determinism check outcome; true when the
+    /// producing bench did not run one.
+    bool identical = true;
+    /// Points this shard ran, ascending by global index. Every index
+    /// must satisfy shardOwns(shard, index).
+    std::vector<ShardPoint> points;
+};
+
+/// Canonical fingerprint of a whole (partial or merged) sweep: FNV-1a 64
+/// over "<index>=<fingerprint>\n" records in ascending index order,
+/// rendered as 16 hex digits. Two sweeps are byte-identical iff their
+/// per-point fingerprints — and hence this hash — are equal.
+std::string sweepFingerprint(const std::vector<ShardPoint>& points);
+
+/// Serializes `f` as pretty-printed JSON (trailing newline included).
+/// `extraRawFields`, when non-empty, is spliced verbatim into the top
+/// object — the sweep_speedup bench uses it to keep its BENCH_sweep.json
+/// keys (speedup, results_identical_across_thread_counts, ...) alongside
+/// the shard schema so tools/bench_compare.cc consumes merged artifacts
+/// unchanged. Each extra line must be "  \"key\": value," formatted.
+std::string writeShardFile(const ShardFile& f,
+                           const std::string& extraRawFields = "");
+
+/// Parses writeShardFile() output (or any JSON with the same schema).
+/// Returns false with a one-line reason in `err` on malformed JSON, a
+/// missing/unknown "format", header fields out of range, point indices
+/// that are unsorted/duplicated/out of range, or points the declared
+/// shard does not own.
+bool parseShardFile(const std::string& json, ShardFile& out,
+                    std::string& err);
+
+/// The BENCH_sweep.json compatibility keys for a sweep_speedup-style
+/// file (bench name, point count, serial/parallel walls, distributed
+/// speedup = serial / parallel, 1-vs-N flag), formatted for
+/// writeShardFile()'s extraRawFields. Empty when `f` carries no serial
+/// pass data, i.e. when speedup would be meaningless.
+std::string benchCompatExtras(const ShardFile& f);
+
+/// Builds the results file for one shard run: fingerprints every result,
+/// attaches labels (indexed by *global* point index; pass {} for none)
+/// and the options the sweep ran with. `sweepName` must match across
+/// shards for the merge to accept them.
+ShardFile shardFileFromOutcome(const std::string& sweepName,
+                               const SweepOptions& opts,
+                               const ShardSpec& shard,
+                               const ShardOutcome& outcome,
+                               const std::vector<std::string>& labels);
+
+/// Merges shard files (any order) into a single full-coverage ShardFile
+/// with shard = {0, 1}. Rejects — returning false with a reason in
+/// `err` — mismatched headers (sweep name, totalPoints, baseSeed,
+/// deriveSeeds, shard count), duplicate shard indices or overlapping
+/// points, and incomplete coverage (a missing shard or point). Merged
+/// wall time is the max over shards (machines run concurrently), the
+/// serial wall is the sum (one machine would run every slice), threads
+/// is the sum, and `identical` is the AND.
+bool mergeShardFiles(const std::vector<ShardFile>& shards, ShardFile& out,
+                     std::string& err);
+
+/// A work-unit manifest (format "homa-sweep-manifest-v1") describing how
+/// a sweep fans out: shard k of shardCount runs the points
+/// shardPointIndices({k, shardCount}, totalPoints) with --shard=k/N.
+struct ShardManifest {
+    std::string sweep;         ///< sweep name the shards must report
+    uint64_t totalPoints = 0;  ///< size of the full grid
+    int shardCount = 1;        ///< number of work units
+    uint64_t baseSeed = 0;     ///< SweepOptions::baseSeed for every shard
+    bool deriveSeeds = false;  ///< SweepOptions::deriveSeeds for every shard
+};
+
+/// Serializes the manifest (including each shard's point list and
+/// --shard=i/N args) as pretty-printed JSON.
+std::string writeShardManifest(const ShardManifest& m);
+
+/// Parses writeShardManifest() output. Returns false with a reason in
+/// `err` on malformed JSON, an unknown format, an invalid header, or a
+/// shards array inconsistent with the positional assignment rule.
+bool parseShardManifest(const std::string& json, ShardManifest& out,
+                        std::string& err);
+
+/// True when a shard file is a plausible work product of `m` (same sweep
+/// name, grid size, shard count, and seed rule).
+bool shardMatchesManifest(const ShardManifest& m, const ShardFile& f,
+                          std::string& err);
+
+/// The distributed-determinism oracle: true when two results files
+/// describe byte-identical sweeps — same grid, and per point the same
+/// index, seed, and fingerprint (hence equal sweepFingerprint()s).
+/// On divergence, `err` lists what differed (one line per point, capped).
+/// Used by the benches' --verify-against, the sweep_shard CLI, and the
+/// CI distributed-sweep merge job; keep it single-sourced here.
+bool sweepsIdentical(const ShardFile& merged, const ShardFile& reference,
+                     std::string& err);
+
+/// Whole-file text I/O for the shard/manifest files (shared by the CLI
+/// and the benches). Both return false on any I/O error.
+bool readTextFile(const std::string& path, std::string& out);
+bool writeTextFile(const std::string& path, const std::string& text);
+
+}  // namespace homa

@@ -39,23 +39,26 @@
 
 namespace homa {
 
+/// Shape and sizing of a partition-aggregate request tree. Everything is
+/// deterministic given (config, seed); validateDagConfig() checks ranges
+/// and the kMaxDagNodes cap.
 struct DagConfig {
-    int fanout = 8;   // children per internal node (>= 1)
-    int depth = 2;    // levels of fan-out below the root (>= 1)
-    int window = 1;   // trees each root keeps outstanding (>= 1)
-    int roots = 0;    // coordinator hosts [0, roots); 0 = every host
-    uint32_t requestBytes = 320;  // query size on every downward edge
+    int fanout = 8;   ///< children per internal node (>= 1)
+    int depth = 2;    ///< levels of fan-out below the root (>= 1)
+    int window = 1;   ///< trees each root keeps outstanding (>= 1)
+    int roots = 0;    ///< coordinator hosts [0, roots); 0 = every host
+    uint32_t requestBytes = 320;  ///< query size on every downward edge
 
-    // Response size of a node at stage d (1..depth; the last entry covers
-    // deeper stages). Empty = sample each node's response from the
-    // experiment's workload size distribution instead.
+    /// Response size of a node at stage d (1..depth; the last entry covers
+    /// deeper stages). Empty = sample each node's response from the
+    /// experiment's workload size distribution instead.
     std::vector<uint32_t> stageResponseBytes;
 
-    // Straggler/skew knobs: each *leaf* independently becomes a straggler
-    // with probability `stragglerFraction`, inflating its response size by
-    // `stragglerFactor` — one slow shard then dominates the whole tree.
+    /// Straggler/skew knobs: each *leaf* independently becomes a straggler
+    /// with probability `stragglerFraction`, inflating its response size by
+    /// `stragglerFactor` — one slow shard then dominates the whole tree.
     double stragglerFraction = 0.0;
-    double stragglerFactor = 10.0;
+    double stragglerFactor = 10.0;  ///< response-size multiplier (> 0)
 };
 
 /// Nodes per tree (excluding the root): sum of fanout^d for d in
@@ -102,16 +105,18 @@ bool parseDagSpec(const std::string& body, DagConfig& out);
 /// index 0, children after their parent), so a parent's index is always
 /// lower than its children's.
 struct DagNodeSpec {
-    HostId host = kNoHost;
-    int parent = -1;      // index into nodes; -1 for the root
-    int stage = 0;        // 0 = root, depth = leaves
-    uint32_t respBytes = 0;  // response this node sends its parent (root: 0)
-    int firstChild = -1;  // index of the first child; -1 for leaves
-    int childCount = 0;
+    HostId host = kNoHost;   ///< host this node runs on
+    int parent = -1;         ///< index into nodes; -1 for the root
+    int stage = 0;           ///< 0 = root, depth = leaves
+    uint32_t respBytes = 0;  ///< response this node sends its parent (root: 0)
+    int firstChild = -1;     ///< index of the first child; -1 for leaves
+    int childCount = 0;      ///< number of children (contiguous from firstChild)
 };
 
+/// A fully sampled tree: shape, placement, and sizes, fixed at issue
+/// time (see sampleDagTree).
 struct DagTreeSpec {
-    std::vector<DagNodeSpec> nodes;
+    std::vector<DagNodeSpec> nodes;  ///< BFS order; parent index < child index
 };
 
 /// Samples one tree: shape from `cfg`, node hosts from `pickChild`
@@ -141,12 +146,12 @@ Duration dagTreeIdeal(const DagTreeSpec& tree, uint32_t requestBytes,
 
 /// What a completed tree looked like; feeds DagTracker.
 struct DagTreeResult {
-    HostId root = kNoHost;
-    Time issued = 0;
-    Time completed = 0;
-    int nodes = 0;        // excluding the root
-    int64_t bytes = 0;    // payload moved (requests + responses)
-    Duration ideal = 0;   // unloaded critical path; 0 when no cost fn
+    HostId root = kNoHost;  ///< coordinator host that issued the tree
+    Time issued = 0;        ///< when the root issued the tree
+    Time completed = 0;     ///< when the last child's response reached the root
+    int nodes = 0;          ///< node count, excluding the root
+    int64_t bytes = 0;      ///< payload moved (requests + responses)
+    Duration ideal = 0;     ///< unloaded critical path; 0 when no cost fn
 };
 
 /// Message-level tree orchestration for `TrafficGenerator`.

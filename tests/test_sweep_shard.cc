@@ -1,0 +1,534 @@
+// Distributed sweep sharding: the shard round-trip locked in end to end.
+// The assignment rule partitions the grid; runShard() uses the exact
+// per-point seeds of the full run; shard files serialize/parse
+// losslessly; merging reassembles input-order results byte-identical to
+// the single-machine sweep (the correctness oracle is resultFingerprint,
+// same as the determinism goldens); and the merge rejects overlapping,
+// missing, or mismatched shards instead of silently mis-assembling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/sweep_shard.h"
+
+namespace homa {
+namespace {
+
+// ------------------------------------------------------ shard assignment
+
+TEST(ShardSpec, ParseAcceptsIOverN) {
+    ShardSpec s;
+    ASSERT_TRUE(parseShardSpec("0/3", s));
+    EXPECT_EQ(s.index, 0);
+    EXPECT_EQ(s.count, 3);
+    ASSERT_TRUE(parseShardSpec("2/3", s));
+    EXPECT_EQ(s.index, 2);
+    ASSERT_TRUE(parseShardSpec("0/1", s));
+    EXPECT_EQ(s.count, 1);
+}
+
+TEST(ShardSpec, ParseRejectsMalformedSpecs) {
+    ShardSpec s{7, 9};
+    for (const char* bad : {"", "/", "1/", "/3", "3/3", "4/3", "-1/3",
+                            "a/3", "1/b", "1/0", "1/-2", "1.5/3", "1/3x"}) {
+        EXPECT_FALSE(parseShardSpec(bad, s)) << bad;
+        // A failed parse leaves the spec untouched.
+        EXPECT_EQ(s.index, 7) << bad;
+        EXPECT_EQ(s.count, 9) << bad;
+    }
+}
+
+TEST(ShardSpec, ValidateCatchesBadSpecs) {
+    EXPECT_EQ(validateShardSpec({0, 1}), nullptr);
+    EXPECT_EQ(validateShardSpec({2, 3}), nullptr);
+    EXPECT_NE(validateShardSpec({0, 0}), nullptr);
+    EXPECT_NE(validateShardSpec({3, 3}), nullptr);
+    EXPECT_NE(validateShardSpec({-1, 3}), nullptr);
+}
+
+TEST(ShardSpec, AssignmentPartitionsEveryGrid) {
+    // Every point owned by exactly one shard, and shardPointIndices
+    // matches shardOwns — including count > totalPoints (empty shards).
+    for (const uint64_t total : {0u, 1u, 5u, 12u, 13u}) {
+        for (const int count : {1, 2, 3, 5, 17}) {
+            std::vector<int> owners(total, 0);
+            for (int k = 0; k < count; k++) {
+                for (uint64_t i : shardPointIndices({k, count}, total)) {
+                    ASSERT_LT(i, total);
+                    EXPECT_TRUE(shardOwns({k, count}, i));
+                    owners[i]++;
+                }
+            }
+            for (uint64_t i = 0; i < total; i++) {
+                EXPECT_EQ(owners[i], 1) << "point " << i << " of " << total
+                                        << " over " << count << " shards";
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- file serialization
+
+ShardFile sampleShardFile() {
+    ShardFile f;
+    f.sweep = "unit_test";
+    f.shard = {1, 3};
+    f.totalPoints = 7;
+    f.baseSeed = 0xDEADBEEFCAFEF00Dull;  // > 2^53: must survive JSON
+    f.deriveSeeds = true;
+    f.threads = 4;
+    f.wallSeconds = 1.25;
+    f.serialWallSeconds = 3.5;
+    f.identical = true;
+    for (uint64_t i : {1u, 4u}) {
+        ShardPoint p;
+        p.index = i;
+        p.seed = deriveSweepSeed(f.baseSeed, i);
+        p.label = "label \"quoted\" \\ backslash";
+        p.fingerprint = "generated=12;util=0x1.8p-1;";
+        f.points.push_back(std::move(p));
+    }
+    return f;
+}
+
+TEST(ShardFileFormat, RoundTripsLosslessly) {
+    const ShardFile f = sampleShardFile();
+    std::string err;
+    ShardFile back;
+    ASSERT_TRUE(parseShardFile(writeShardFile(f), back, err)) << err;
+    EXPECT_EQ(back.sweep, f.sweep);
+    EXPECT_EQ(back.shard.index, f.shard.index);
+    EXPECT_EQ(back.shard.count, f.shard.count);
+    EXPECT_EQ(back.totalPoints, f.totalPoints);
+    EXPECT_EQ(back.baseSeed, f.baseSeed);
+    EXPECT_EQ(back.deriveSeeds, f.deriveSeeds);
+    EXPECT_EQ(back.threads, f.threads);
+    EXPECT_DOUBLE_EQ(back.wallSeconds, f.wallSeconds);
+    EXPECT_DOUBLE_EQ(back.serialWallSeconds, f.serialWallSeconds);
+    EXPECT_EQ(back.identical, f.identical);
+    ASSERT_EQ(back.points.size(), f.points.size());
+    for (size_t k = 0; k < f.points.size(); k++) {
+        EXPECT_EQ(back.points[k].index, f.points[k].index);
+        EXPECT_EQ(back.points[k].seed, f.points[k].seed);
+        EXPECT_EQ(back.points[k].label, f.points[k].label);
+        EXPECT_EQ(back.points[k].fingerprint, f.points[k].fingerprint);
+    }
+    EXPECT_EQ(sweepFingerprint(back.points), sweepFingerprint(f.points));
+}
+
+TEST(ShardFileFormat, ExtraRawFieldsSurviveParsing) {
+    // The sweep_speedup bench splices its BENCH_sweep.json keys into the
+    // same object; the parser must tolerate (and ignore) them.
+    const ShardFile f = sampleShardFile();
+    const std::string json = writeShardFile(f, benchCompatExtras(f));
+    EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(json.find("\"results_identical_across_thread_counts\""),
+              std::string::npos);
+    std::string err;
+    ShardFile back;
+    ASSERT_TRUE(parseShardFile(json, back, err)) << err;
+    EXPECT_EQ(back.points.size(), f.points.size());
+}
+
+TEST(ShardFileFormat, ControlCharactersInLabelsRoundTrip) {
+    // jsonEscape writes control characters as \u00XX; the parser must
+    // decode them back (writer and parser live in the same module — they
+    // have to round-trip each other's output).
+    ShardFile f = sampleShardFile();
+    f.points[0].label = std::string("ctl:\x01\x1f") + "\n\ttail";
+    std::string err;
+    ShardFile back;
+    ASSERT_TRUE(parseShardFile(writeShardFile(f), back, err)) << err;
+    EXPECT_EQ(back.points[0].label, f.points[0].label);
+}
+
+TEST(ShardFileFormat, RejectsOversizedGrids) {
+    // A corrupt/hostile total_points header must produce a parse error,
+    // not drive the merge's slot allocation to std::bad_alloc.
+    ShardFile f = sampleShardFile();
+    const std::string good = writeShardFile(f);
+    std::string bad = good;
+    bad.replace(bad.find("\"total_points\": 7"),
+                std::string("\"total_points\": 7").size(),
+                "\"total_points\": 1000000000000000");
+    std::string err;
+    ShardFile out;
+    EXPECT_FALSE(parseShardFile(bad, out, err));
+    EXPECT_NE(err.find("total_points"), std::string::npos) << err;
+
+    // Same guard on the in-memory merge path.
+    f.totalPoints = 2'000'000;
+    f.points.clear();
+    ShardFile merged;
+    EXPECT_FALSE(mergeShardFiles({f}, merged, err));
+    EXPECT_NE(err.find("total_points"), std::string::npos) << err;
+}
+
+TEST(ShardFileFormat, RejectsCorruptInputs) {
+    const ShardFile f = sampleShardFile();
+    const std::string good = writeShardFile(f);
+    std::string err;
+    ShardFile out;
+    EXPECT_FALSE(parseShardFile("not json", out, err));
+    EXPECT_FALSE(parseShardFile("{}", out, err));
+
+    // Wrong format string.
+    std::string bad = good;
+    bad.replace(bad.find("homa-sweep-shard-v1"),
+                std::string("homa-sweep-shard-v1").size(),
+                "homa-sweep-shard-v9");
+    EXPECT_FALSE(parseShardFile(bad, out, err));
+
+    // A point the declared shard does not own (index 2 for shard 1/3).
+    bad = good;
+    bad.replace(bad.find("\"index\": 1"), std::string("\"index\": 1").size(),
+                "\"index\": 2");
+    EXPECT_FALSE(parseShardFile(bad, out, err));
+    EXPECT_NE(err.find("not owned"), std::string::npos) << err;
+
+    // Tampered fingerprint no longer matches the recorded sweep hash.
+    bad = good;
+    const size_t fp = bad.find("generated=12");
+    ASSERT_NE(fp, std::string::npos);
+    bad.replace(fp, 12, "generated=13");
+    EXPECT_FALSE(parseShardFile(bad, out, err));
+    EXPECT_NE(err.find("sweep_fingerprint"), std::string::npos) << err;
+}
+
+TEST(ShardManifest, RoundTripsAndValidates) {
+    ShardManifest m;
+    m.sweep = "sweep_speedup";
+    m.totalPoints = 12;
+    m.shardCount = 5;  // shards 3 and 4 hold 2 points, the rest 3
+    m.baseSeed = 99;
+    m.deriveSeeds = true;
+    const std::string json = writeShardManifest(m);
+    EXPECT_NE(json.find("--shard=4/5"), std::string::npos);
+
+    std::string err;
+    ShardManifest back;
+    ASSERT_TRUE(parseShardManifest(json, back, err)) << err;
+    EXPECT_EQ(back.sweep, m.sweep);
+    EXPECT_EQ(back.totalPoints, m.totalPoints);
+    EXPECT_EQ(back.shardCount, m.shardCount);
+    EXPECT_EQ(back.baseSeed, m.baseSeed);
+    EXPECT_EQ(back.deriveSeeds, m.deriveSeeds);
+
+    // A manifest whose shards list disagrees with the positional rule is
+    // rejected (hand-edited plans must not silently reshuffle points).
+    std::string bad = json;
+    const size_t pts = bad.find("\"points\": [4, 9]");
+    ASSERT_NE(pts, std::string::npos);
+    bad.replace(pts, std::string("\"points\": [4, 9]").size(),
+                "\"points\": [4, 10]");
+    EXPECT_FALSE(parseShardManifest(bad, back, err));
+
+    EXPECT_FALSE(parseShardManifest("{\"format\": \"nope\"}", back, err));
+
+    // Manifest <-> shard-file agreement.
+    ShardFile f;
+    f.sweep = m.sweep;
+    f.shard = {0, 5};
+    f.totalPoints = 12;
+    f.baseSeed = 99;
+    f.deriveSeeds = true;
+    EXPECT_TRUE(shardMatchesManifest(m, f, err)) << err;
+    f.baseSeed = 100;
+    EXPECT_FALSE(shardMatchesManifest(m, f, err));
+}
+
+// ------------------------------------- merge correctness and rejection
+
+/// Builds shard files for `count` shards of a synthetic 7-point sweep
+/// without running experiments (fingerprints are synthetic strings).
+std::vector<ShardFile> syntheticShards(int count, uint64_t total = 7) {
+    std::vector<ShardFile> out;
+    for (int k = 0; k < count; k++) {
+        ShardFile f;
+        f.sweep = "synthetic";
+        f.shard = {k, count};
+        f.totalPoints = total;
+        f.baseSeed = 42;
+        f.deriveSeeds = true;
+        f.threads = 2;
+        f.wallSeconds = 1.0 + k;
+        f.identical = true;
+        for (uint64_t i : shardPointIndices({k, count}, total)) {
+            ShardPoint p;
+            p.index = i;
+            p.seed = deriveSweepSeed(42, i);
+            p.label = "pt" + std::to_string(i);
+            p.fingerprint = "fp-" + std::to_string(i) + ";";
+            f.points.push_back(std::move(p));
+        }
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+TEST(ShardMerge, ReassemblesInputOrderFromAnyInputOrder) {
+    std::vector<ShardFile> shards = syntheticShards(3);
+    // Present the shards out of order: merge output must not care.
+    std::swap(shards[0], shards[2]);
+    ShardFile merged;
+    std::string err;
+    ASSERT_TRUE(mergeShardFiles(shards, merged, err)) << err;
+    ASSERT_EQ(merged.points.size(), 7u);
+    for (uint64_t i = 0; i < 7; i++) {
+        EXPECT_EQ(merged.points[i].index, i);
+        EXPECT_EQ(merged.points[i].fingerprint,
+                  "fp-" + std::to_string(i) + ";");
+    }
+    EXPECT_EQ(merged.shard.index, 0);
+    EXPECT_EQ(merged.shard.count, 1);
+    // Max over shards: machines run concurrently.
+    EXPECT_DOUBLE_EQ(merged.wallSeconds, 3.0);
+    EXPECT_EQ(merged.threads, 6);
+    // Identical fingerprint to the same points assembled directly.
+    EXPECT_EQ(sweepFingerprint(merged.points),
+              sweepFingerprint(syntheticShards(1)[0].points));
+}
+
+TEST(ShardMerge, SingleShardAndEmptyShardsMerge) {
+    // 1 shard: the merge is the identity.
+    ShardFile merged;
+    std::string err;
+    ASSERT_TRUE(mergeShardFiles(syntheticShards(1), merged, err)) << err;
+    EXPECT_EQ(merged.points.size(), 7u);
+
+    // More shards than points: shards 3.. are legitimately empty, and the
+    // merge still covers the grid.
+    const std::vector<ShardFile> sparse = syntheticShards(5, 3);
+    EXPECT_TRUE(sparse[3].points.empty());
+    EXPECT_TRUE(sparse[4].points.empty());
+    ASSERT_TRUE(mergeShardFiles(sparse, merged, err)) << err;
+    EXPECT_EQ(merged.points.size(), 3u);
+}
+
+TEST(ShardMerge, RejectsOverlapGapsAndMismatches) {
+    const std::vector<ShardFile> shards = syntheticShards(3);
+    ShardFile merged;
+    std::string err;
+
+    // Overlap: the same shard presented twice.
+    std::vector<ShardFile> twice = {shards[0], shards[1], shards[1]};
+    EXPECT_FALSE(mergeShardFiles(twice, merged, err));
+    EXPECT_NE(err.find("overlapping"), std::string::npos) << err;
+
+    // Overlapping *points* from a hand-built file that duplicates
+    // another shard's point under its own (valid) ownership: simulate by
+    // mutating shard 1 to count=3/index=1 but with shard 0's point 0
+    // relabelled — ownership check in merge catches index collisions via
+    // the duplicate-slot rule when counts differ. Simpler: a shard with
+    // count mismatch is itself rejected.
+    std::vector<ShardFile> mismatched = {shards[0], shards[1],
+                                         syntheticShards(4)[3]};
+    EXPECT_FALSE(mergeShardFiles(mismatched, merged, err));
+    EXPECT_NE(err.find("shard_count"), std::string::npos) << err;
+
+    // Gap: a missing shard.
+    std::vector<ShardFile> incomplete = {shards[0], shards[2]};
+    EXPECT_FALSE(mergeShardFiles(incomplete, merged, err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+
+    // Header mismatches.
+    std::vector<ShardFile> wrongSeed = shards;
+    wrongSeed[1].baseSeed = 43;
+    EXPECT_FALSE(mergeShardFiles(wrongSeed, merged, err));
+
+    std::vector<ShardFile> wrongSweep = shards;
+    wrongSweep[2].sweep = "other";
+    EXPECT_FALSE(mergeShardFiles(wrongSweep, merged, err));
+
+    std::vector<ShardFile> wrongTotal = shards;
+    wrongTotal[0].totalPoints = 8;
+    EXPECT_FALSE(mergeShardFiles(wrongTotal, merged, err));
+
+    // An invalid in-memory shard spec is rejected before any indexing
+    // (no file parser ran to catch it earlier).
+    std::vector<ShardFile> badSpec = shards;
+    badSpec[1].shard.index = 5;  // >= count
+    EXPECT_FALSE(mergeShardFiles(badSpec, merged, err));
+
+    EXPECT_FALSE(mergeShardFiles({}, merged, err));
+}
+
+// --------------------------- the oracle: sharded == single-machine run
+
+ExperimentConfig tinyConfig(WorkloadId wl, double load, Protocol kind) {
+    ExperimentConfig cfg;
+    cfg.net = NetworkConfig::singleRack16();
+    cfg.proto.kind = kind;
+    cfg.traffic.workload = wl;
+    cfg.traffic.load = load;
+    cfg.traffic.stop = milliseconds(1);
+    cfg.drainGrace = milliseconds(10);
+    return cfg;
+}
+
+std::vector<ExperimentConfig> tinyGrid() {
+    std::vector<ExperimentConfig> points;
+    points.push_back(tinyConfig(WorkloadId::W1, 0.5, Protocol::Homa));
+    points.push_back(tinyConfig(WorkloadId::W2, 0.6, Protocol::Homa));
+    points.push_back(tinyConfig(WorkloadId::W1, 0.5, Protocol::PFabric));
+    points.push_back(tinyConfig(WorkloadId::W2, 0.4, Protocol::Pias));
+    points.push_back(tinyConfig(WorkloadId::W3, 0.5, Protocol::Homa));
+    return points;
+}
+
+TEST(ShardMerge, MergedShardsReproduceSingleMachineFingerprints) {
+    SweepOptions opts;
+    opts.deriveSeeds = true;
+    opts.baseSeed = 7;
+    opts.threads = 2;
+    const std::vector<ExperimentConfig> grid = tinyGrid();
+
+    // The single-machine reference run.
+    const SweepOutcome full = SweepRunner(opts).run(grid);
+    std::vector<ShardPoint> reference;
+    for (size_t i = 0; i < full.results.size(); i++) {
+        ShardPoint p;
+        p.index = i;
+        p.seed = deriveSweepSeed(opts.baseSeed, i);
+        p.fingerprint = resultFingerprint(full.results[i]);
+        reference.push_back(std::move(p));
+    }
+
+    // Three shards, run independently, serialized and parsed back (the
+    // full cross-machine round trip), then merged out of order.
+    std::vector<ShardFile> files;
+    for (int k : {2, 0, 1}) {
+        const ShardOutcome out =
+            SweepRunner(opts).runShard(grid, {k, 3});
+        // The shard ran with the exact seeds of the full run.
+        for (size_t j = 0; j < out.indices.size(); j++) {
+            EXPECT_EQ(out.seeds[j],
+                      deriveSweepSeed(opts.baseSeed, out.indices[j]));
+        }
+        const ShardFile f =
+            shardFileFromOutcome("tiny", opts, {k, 3}, out, {});
+        std::string err;
+        ShardFile parsed;
+        ASSERT_TRUE(parseShardFile(writeShardFile(f), parsed, err)) << err;
+        files.push_back(std::move(parsed));
+    }
+    ShardFile merged;
+    std::string err;
+    ASSERT_TRUE(mergeShardFiles(files, merged, err)) << err;
+
+    // Byte-for-byte: every per-point fingerprint and the whole-sweep
+    // fingerprint match the unsharded run.
+    ASSERT_EQ(merged.points.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); i++) {
+        EXPECT_EQ(merged.points[i].index, reference[i].index);
+        EXPECT_EQ(merged.points[i].seed, reference[i].seed);
+        EXPECT_EQ(merged.points[i].fingerprint, reference[i].fingerprint)
+            << "point " << i;
+    }
+    EXPECT_EQ(sweepFingerprint(merged.points), sweepFingerprint(reference));
+}
+
+TEST(ShardMerge, SingleShardRunEqualsFullRun) {
+    SweepOptions opts;
+    opts.deriveSeeds = true;
+    opts.baseSeed = 11;
+    opts.threads = 2;
+    std::vector<ExperimentConfig> grid = tinyGrid();
+    grid.resize(2);  // keep this variant cheap
+
+    const SweepOutcome full = SweepRunner(opts).run(grid);
+    const ShardOutcome whole = SweepRunner(opts).runShard(grid, {0, 1});
+    ASSERT_EQ(whole.results.size(), full.results.size());
+    for (size_t i = 0; i < full.results.size(); i++) {
+        EXPECT_EQ(resultFingerprint(whole.results[i]),
+                  resultFingerprint(full.results[i]));
+    }
+
+    // An empty shard of the same grid (more shards than points).
+    const ShardOutcome empty = SweepRunner(opts).runShard(grid, {2, 3});
+    EXPECT_TRUE(empty.results.empty());
+    EXPECT_EQ(empty.totalPoints, grid.size());
+}
+
+// ----------------------------------------------------- CLI round trip
+
+#ifdef HOMA_SWEEP_SHARD_BIN
+
+std::string tmpPath(const std::string& name) {
+    return testing::TempDir() + "sweep_shard_" + name;
+}
+
+void writeFileOrDie(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << path;
+    out << text;
+}
+
+int runTool(const std::string& args) {
+    const std::string cmd = std::string(HOMA_SWEEP_SHARD_BIN) + " " + args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SweepShardCli, PlanMergeVerifyRoundTrip) {
+    const std::string manifest = tmpPath("manifest.json");
+    EXPECT_EQ(runTool("plan --sweep synthetic --points 7 --shards 3 "
+                      "--base-seed 42 --derive-seeds --out " + manifest),
+              0);
+    std::string text, err;
+    {
+        std::ifstream in(manifest);
+        ASSERT_TRUE(in);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    ShardManifest m;
+    ASSERT_TRUE(parseShardManifest(text, m, err)) << err;
+    EXPECT_EQ(m.shardCount, 3);
+
+    const std::vector<ShardFile> shards = syntheticShards(3);
+    std::vector<std::string> paths;
+    for (int k = 0; k < 3; k++) {
+        paths.push_back(tmpPath("shard" + std::to_string(k) + ".json"));
+        writeFileOrDie(paths[k], writeShardFile(shards[k]));
+    }
+    ShardFile wholeFile;  // the "unsharded reference": same points, 1 shard
+    std::string errMerge;
+    ASSERT_TRUE(mergeShardFiles(shards, wholeFile, errMerge)) << errMerge;
+    const std::string reference = tmpPath("reference.json");
+    writeFileOrDie(reference, writeShardFile(wholeFile));
+
+    const std::string merged = tmpPath("merged.json");
+    EXPECT_EQ(runTool("merge --manifest " + manifest + " --out " + merged +
+                      " --verify-against " + reference + " " + paths[2] +
+                      " " + paths[0] + " " + paths[1]),
+              0);
+    EXPECT_EQ(runTool("fingerprint " + merged), 0);
+
+    // Overlap (a shard twice) and gaps (a shard missing) fail.
+    EXPECT_EQ(runTool("merge " + paths[0] + " " + paths[1] + " " + paths[1]),
+              1);
+    EXPECT_EQ(runTool("merge " + paths[0] + " " + paths[1]), 1);
+
+    // A diverging reference is detected.
+    ShardFile tampered = wholeFile;
+    tampered.points[3].fingerprint = "fp-changed;";
+    const std::string bad = tmpPath("tampered.json");
+    writeFileOrDie(bad, writeShardFile(tampered));
+    EXPECT_EQ(runTool("merge --verify-against " + bad + " " + paths[0] +
+                      " " + paths[1] + " " + paths[2]),
+              1);
+}
+
+#endif  // HOMA_SWEEP_SHARD_BIN
+
+}  // namespace
+}  // namespace homa
