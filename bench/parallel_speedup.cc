@@ -1,0 +1,139 @@
+// Parallel simulation engine speedup evidence -> BENCH_parallel.json.
+//
+// Runs ONE large experiment point (the 144-host fat-tree at high load —
+// the shape where a single simulation, not the sweep grid, is the wall
+// clock) at --sim-threads 1 and at each thread count in the curve,
+// verifies every parallel run is byte-identical to the serial run (the
+// sim/parallel.h determinism contract), and reports the wall-clock
+// speedup curve as JSON:
+//
+//   ./bench_parallel_speedup [output.json]   (default BENCH_parallel.json)
+//
+// The identity flag is a hard CI failure at any tolerance
+// (tools/bench_compare); the speedup is gated only on machines with >= 4
+// hardware cores, since a starved runner measures scheduling, not the
+// engine (the artifact records hardware_cores so the gate can tell).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "driver/sweep_shard.h"
+
+using namespace homa;
+using namespace homa::bench;
+
+namespace {
+
+double timedRun(ExperimentConfig cfg, int threads, std::string& fingerprint) {
+    cfg.parallel.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentResult r = runExperiment(cfg);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    fingerprint = resultFingerprint(r);
+    return wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string outPath = argc > 1 ? argv[1] : "BENCH_parallel.json";
+    printHeader("Parallel engine: single-point simulation speedup",
+                "conservative-window parallel runtime (BENCH_parallel.json)");
+
+    // One big point: every rack busy, scheduled traffic on every downlink.
+    ExperimentConfig cfg;
+    cfg.net = NetworkConfig::fatTree144();
+    cfg.proto.kind = Protocol::Homa;
+    cfg.traffic.workload = WorkloadId::W4;
+    cfg.traffic.load = 0.8;
+    cfg.traffic.stop = fullScale() ? milliseconds(40) : milliseconds(6);
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::vector<int> counts{2, 4};
+    if (cores >= 8) counts.push_back(8);
+
+    std::string serialFp;
+    const double serialWall = timedRun(cfg, 1, serialFp);
+    std::printf("%d hosts, load %.2f: %.2f s serial\n",
+                cfg.net.hostCount(), cfg.traffic.load, serialWall);
+
+    bool identical = true;
+    double bestWall = serialWall;
+    int bestThreads = 1;
+    std::string curve = "  \"curve\": [\n";
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"threads\": 1, \"wall_seconds\": %.4f, "
+                      "\"speedup\": 1.0}",
+                      serialWall);
+        curve += buf;
+    }
+    for (int threads : counts) {
+        std::string fp;
+        const double wall = timedRun(cfg, threads, fp);
+        if (fp != serialFp) {
+            identical = false;
+            std::printf("MISMATCH at %d threads: parallel run diverged "
+                        "from serial\n", threads);
+        }
+        const double speedup = wall > 0 ? serialWall / wall : 0;
+        std::printf("%d threads: %.2f s (%.2fx), identical: %s\n", threads,
+                    wall, speedup, fp == serialFp ? "yes" : "NO");
+        if (wall < bestWall) {
+            bestWall = wall;
+            bestThreads = threads;
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      ",\n    {\"threads\": %d, \"wall_seconds\": %.4f, "
+                      "\"speedup\": %.4f}",
+                      threads, wall, speedup);
+        curve += buf;
+    }
+    curve += "\n  ],\n";
+
+    const double bestSpeedup = bestWall > 0 ? serialWall / bestWall : 0;
+    std::string json = "{\n  \"bench\": \"parallel_speedup\",\n";
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "  \"scale\": \"%s\",\n",
+                      fullScale() ? "full" : "quick");
+        json += buf;
+        std::snprintf(buf, sizeof(buf), "  \"hardware_cores\": %u,\n", cores);
+        json += buf;
+        std::snprintf(buf, sizeof(buf), "  \"hosts\": %d,\n",
+                      cfg.net.hostCount());
+        json += buf;
+        std::snprintf(buf, sizeof(buf), "  \"load\": %.2f,\n",
+                      cfg.traffic.load);
+        json += buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  \"wall_seconds_1_thread\": %.4f,\n", serialWall);
+        json += buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  \"wall_seconds_parallel\": %.4f,\n", bestWall);
+        json += buf;
+        std::snprintf(buf, sizeof(buf), "  \"threads\": %d,\n", bestThreads);
+        json += buf;
+        std::snprintf(buf, sizeof(buf), "  \"speedup\": %.4f,\n", bestSpeedup);
+        json += buf;
+    }
+    json += curve;
+    json += std::string("  \"results_identical_across_thread_counts\": ") +
+            (identical ? "true" : "false") + "\n}\n";
+
+    if (!writeTextFile(outPath, json)) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("best: %.2fx at %d threads; wrote %s\n", bestSpeedup,
+                bestThreads, outPath.c_str());
+    return identical ? 0 : 1;
+}

@@ -33,6 +33,9 @@ namespace {
         "  --load F                offered load fraction (default 0.8)\n"
         "  --window-ms N           traffic generation window (default 10)\n"
         "  --seed N                RNG seed (default 99)\n"
+        "  --sim-threads N         parallel engine: shard the simulation\n"
+        "                          across N threads (default 1 = serial;\n"
+        "                          results are identical either way)\n"
         "  --single-rack           16-host cluster instead of the fat-tree\n"
         "  --pattern NAME          uniform|permutation|rack-skew|incast|\n"
         "                          pareto|trace|closed-loop (default uniform)\n"
@@ -124,6 +127,8 @@ int main(int argc, char** argv) {
             cfg.traffic.stop = milliseconds(std::stol(next()));
         } else if (arg == "--seed") {
             cfg.traffic.seed = std::stoull(next());
+        } else if (arg == "--sim-threads") {
+            cfg.parallel.threads = std::stoi(next());
         } else if (arg == "--single-rack") {
             cfg.net = NetworkConfig::singleRack16();
         } else if (arg == "--pattern") {

@@ -102,6 +102,19 @@ uint64_t sumDrops(Network& net, bool trims) {
     return total;
 }
 
+/// Shards to request from the Network. Closed-loop and DAG scenarios have
+/// zero-lookahead feedback (a delivery on the destination's shard refills
+/// the source's window at the same instant), and the wasted-bandwidth
+/// probe samples every host from one event; those run serially whatever
+/// `threads` says. The Network further caps by rack count.
+int requestedShards(const ExperimentConfig& cfg) {
+    const TrafficPatternKind kind = cfg.traffic.scenario.kind;
+    const bool shardable = kind != TrafficPatternKind::ClosedLoop &&
+                           kind != TrafficPatternKind::Dag &&
+                           !cfg.measureWastedBandwidth;
+    return shardable ? std::max(1, cfg.parallel.threads) : 1;
+}
+
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
@@ -110,8 +123,10 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     NetworkConfig netCfg = cfg.net;
     if (!netCfg.switchQdisc) netCfg.switchQdisc = switchQdiscFor(cfg.proto);
 
-    Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist));
+    Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist),
+                requestedShards(cfg));
     Oracle oracle(netCfg);
+    const int n = net.hostCount();
 
     ExperimentResult result;
     result.slowdown = std::make_unique<SlowdownTracker>(dist, oracle.oneWayFn());
@@ -124,18 +139,30 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     result.windowStart = windowStart;
     result.windowEnd = genStop;
 
-    uint64_t inWindowGenerated = 0;
-    uint64_t inWindowDelivered = 0;
-    int64_t generatedBytesAll = 0;
-    int64_t deliveredBytesAll = 0;
+    // All counters and sample collections are per-host, with cell h only
+    // ever touched from host h's shard: creation-side cells are indexed by
+    // m.src (the generator emits on the source shard), delivery-side cells
+    // by m.dst (transports deliver on the destination shard). Merging in
+    // ascending host order afterwards — in the serial engine too — makes
+    // every statistic, including floating-point accumulation order, a pure
+    // function of the simulated events. The Oracle keeps a mutable
+    // memoization cache, so delivery recording gets one per host as well.
+    std::vector<uint64_t> inWindowGenerated(n, 0), inWindowDelivered(n, 0);
+    std::vector<uint64_t> deliveredTotal(n, 0);
+    std::vector<int64_t> generatedBytesAll(n, 0), deliveredBytesAll(n, 0);
+    std::vector<Oracle> oracles(static_cast<size_t>(n), Oracle(netCfg));
+    std::vector<SlowdownTracker> slowdowns;
+    slowdowns.reserve(n);
+    for (int h = 0; h < n; h++) slowdowns.emplace_back(dist, oracle.oneWayFn());
+
     TrafficGenerator gen(net, cfg.traffic, [&](const Message& m) {
-        generatedBytesAll += m.length;
+        generatedBytesAll[m.src] += m.length;
         // Upper bound matters for dag mode: the tree cascade keeps
         // emitting during the drain, and a message created past genStop
         // can never count as delivered below — without the bound those
         // emissions would deflate keptUp for healthy closed-loop trees.
         if (m.created >= windowStart && m.created < genStop) {
-            inWindowGenerated++;
+            inWindowGenerated[m.src]++;
         }
     });
 
@@ -158,10 +185,12 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     }
 
     net.setDeliveryCallback([&](const Message& m, const DeliveryInfo& info) {
-        result.deliveredTotal++;
-        deliveredBytesAll += m.length;
+        deliveredTotal[m.dst]++;
+        deliveredBytesAll[m.dst] += m.length;
         // Closed loop: every delivery frees a window slot, warm-up and
         // drain included (the loop must keep turning outside the window).
+        // (Closed-loop and dag runs are always single-shard, so the
+        // cross-host writes inside gen/closedLoop are single-threaded.)
         gen.onDelivered(m);
         if (result.closedLoop) {
             result.closedLoop->record(m.src, m.length,
@@ -169,11 +198,11 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
                                       info.completed);
         }
         if (m.created < windowStart || m.created >= genStop) return;
-        inWindowDelivered++;
+        inWindowDelivered[m.dst]++;
         const bool intraRack = net.rackOf(m.src) == net.rackOf(m.dst);
-        result.slowdown->recordWithBest(
+        slowdowns[m.dst].recordWithBest(
             m.length, info.completed - m.created,
-            oracle.bestOneWay(m.length, intraRack), info.queueingDelay,
+            oracles[m.dst].bestOneWay(m.length, intraRack), info.queueingDelay,
             info.preemptionLag);
     });
 
@@ -181,39 +210,65 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     if (cfg.measureWastedBandwidth) probe.start(windowStart, genStop);
 
     // Snapshot port stats at the window edges so utilization and queue
-    // stats cover only the measurement window.
+    // stats cover only the measurement window. Snapshots are per-host
+    // cells written by one event per shard (a host's downlink port lives
+    // on its TOR, i.e. on its own shard; its byte counters likewise), then
+    // reduced in host order after the run.
+    struct HostSnapshot {
+        double downlinkWire = 0;
+        std::array<double, kPriorityLevels> prioWire{};
+        int64_t backlogBytes = 0;  // generated - delivered so far
+    };
+    std::vector<HostSnapshot> startSnap(n), endSnap(n);
+    auto snapshotShard = [&](int shard, std::vector<HostSnapshot>& out) {
+        for (HostId h = 0; h < n; h++) {
+            if (net.shardOfHost(h) != shard) continue;
+            const auto& st = net.downlink(h).stats();
+            out[h].downlinkWire = static_cast<double>(st.wireBytesSent);
+            for (int p = 0; p < kPriorityLevels; p++) {
+                out[h].prioWire[p] = static_cast<double>(st.bytesByPriority[p]);
+            }
+            out[h].backlogBytes = generatedBytesAll[h] - deliveredBytesAll[h];
+        }
+    };
+    for (int s = 0; s < net.shardCount(); s++) {
+        net.shardLoop(s).at(windowStart,
+                            [&snapshotShard, &startSnap, s] {
+                                snapshotShard(s, startSnap);
+                            });
+        net.shardLoop(s).at(genStop, [&snapshotShard, &endSnap, s] {
+            snapshotShard(s, endSnap);
+        });
+    }
+
+    gen.start();
+    // Run generation plus drain (windowed lock-step when sharded).
+    runNetworkUntil(net, genStop + cfg.drainGrace);
+
+    uint64_t generatedSum = 0, deliveredSum = 0;
+    int64_t backlogStart = 0, backlogEnd = 0;
     struct Snapshot {
         double downlinkWire = 0;
         std::array<double, kPriorityLevels> prioWire{};
     };
-    auto takeSnapshot = [&net] {
-        Snapshot s;
-        for (HostId h = 0; h < net.hostCount(); h++) {
-            const auto& st = net.downlink(h).stats();
-            s.downlinkWire += static_cast<double>(st.wireBytesSent);
-            for (int p = 0; p < kPriorityLevels; p++) {
-                s.prioWire[p] += static_cast<double>(st.bytesByPriority[p]);
-            }
+    Snapshot startTotals, endTotals;
+    for (HostId h = 0; h < n; h++) {
+        generatedSum += inWindowGenerated[h];
+        deliveredSum += inWindowDelivered[h];
+        result.deliveredTotal += deliveredTotal[h];
+        backlogStart += startSnap[h].backlogBytes;
+        backlogEnd += endSnap[h].backlogBytes;
+        startTotals.downlinkWire += startSnap[h].downlinkWire;
+        endTotals.downlinkWire += endSnap[h].downlinkWire;
+        for (int p = 0; p < kPriorityLevels; p++) {
+            startTotals.prioWire[p] += startSnap[h].prioWire[p];
+            endTotals.prioWire[p] += endSnap[h].prioWire[p];
         }
-        return s;
-    };
-    Snapshot startSnap, endSnap;
-    int64_t backlogStart = 0, backlogEnd = 0;
-    net.loop().at(windowStart, [&] {
-        startSnap = takeSnapshot();
-        backlogStart = generatedBytesAll - deliveredBytesAll;
-    });
-    net.loop().at(genStop, [&] {
-        endSnap = takeSnapshot();
-        backlogEnd = generatedBytesAll - deliveredBytesAll;
-    });
+        result.slowdown->absorb(slowdowns[h]);
+    }
 
-    gen.start();
-    // Run generation plus drain.
-    net.loop().runUntil(genStop + cfg.drainGrace);
-
-    result.generated = inWindowGenerated;
-    result.delivered = inWindowDelivered;
+    result.generated = generatedSum;
+    result.delivered = deliveredSum;
     result.maxOutstanding = gen.maxOutstanding();
     result.wastedBandwidth = probe.wastedFraction();
 
@@ -224,12 +279,13 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
             static_cast<double>(net.downlink(h).bandwidth().bytesIn(window));
     }
     result.downlinkUtilization =
-        capacity > 0 ? (endSnap.downlinkWire - startSnap.downlinkWire) / capacity
-                     : 0;
+        capacity > 0
+            ? (endTotals.downlinkWire - startTotals.downlinkWire) / capacity
+            : 0;
     for (int p = 0; p < kPriorityLevels; p++) {
         result.prioUsage[p] =
             capacity > 0
-                ? (endSnap.prioWire[p] - startSnap.prioWire[p]) / capacity
+                ? (endTotals.prioWire[p] - startTotals.prioWire[p]) / capacity
                 : 0;
     }
 
@@ -275,9 +331,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         closedLoop || dagMode ||
         static_cast<double>(backlogEnd - backlogStart) <= backlogTolerance;
     result.keptUp =
-        backlogStable && inWindowGenerated > 0 &&
-        static_cast<double>(inWindowDelivered) >=
-            0.99 * static_cast<double>(inWindowGenerated);
+        backlogStable && generatedSum > 0 &&
+        static_cast<double>(deliveredSum) >=
+            0.99 * static_cast<double>(generatedSum);
     return result;
 }
 

@@ -13,6 +13,7 @@
 #include "baselines/streaming.h"
 #include "core/homa_transport.h"
 #include "driver/oracle.h"
+#include "sim/parallel.h"
 #include "stats/closed_loop.h"
 #include "stats/counters.h"
 #include "stats/dag.h"
@@ -64,6 +65,11 @@ struct ExperimentConfig {
     /// After generation stops, let in-flight messages finish for this long.
     Duration drainGrace = milliseconds(50);
     bool measureWastedBandwidth = false;
+    /// Parallel engine: shard the simulation across this many threads
+    /// (sim/parallel.h). Results are byte-identical at any thread count;
+    /// scenarios the engine cannot shard (closed-loop, DAG, single-rack,
+    /// wasted-bandwidth probes) silently run serially.
+    ParallelConfig parallel;
 };
 
 struct ExperimentResult {

@@ -200,7 +200,9 @@ RpcExperimentResult runRpcDagExperiment(const RpcExperimentConfig& cfg) {
         }
     }
 
-    net.loop().runUntil(cfg.stop + cfg.drainGrace);
+    // Single-shard (see RpcExperimentConfig::parallel); equivalent to
+    // net.loop().runUntil, routed through the engine entry for uniformity.
+    runNetworkUntil(net, cfg.stop + cfg.drainGrace);
 
     result.issued = issuedInWindow;
     result.completed = completedInWindow;
@@ -348,7 +350,9 @@ RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg) {
         }
     }
 
-    net.loop().runUntil(cfg.stop + cfg.drainGrace);
+    // Single-shard (see RpcExperimentConfig::parallel); equivalent to
+    // net.loop().runUntil, routed through the engine entry for uniformity.
+    runNetworkUntil(net, cfg.stop + cfg.drainGrace);
 
     result.issued = issuedInWindow;
     result.completed = completedInWindow;

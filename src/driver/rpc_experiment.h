@@ -50,6 +50,14 @@ struct RpcExperimentConfig {
     /// tree issues. Requires >= 2 servers when dag.depth >= 2.
     bool dagMode = false;
     DagConfig dag;
+
+    /// Parallel-engine knob, accepted for config uniformity with
+    /// ExperimentConfig (sweep grids carry one knob). The RPC harness
+    /// orchestrates every client from one loop and draws RpcIds from the
+    /// global id stream, so it always runs single-shard today — and its
+    /// default single-switch topology (§5.1) would clamp to one shard
+    /// regardless.
+    ParallelConfig parallel;
 };
 
 struct RpcExperimentResult {

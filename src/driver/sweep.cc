@@ -117,6 +117,9 @@ SweepOutcome SweepRunner::run(std::vector<ExperimentConfig> points) const {
             points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
         }
     }
+    if (opts_.simThreads > 0) {
+        for (ExperimentConfig& p : points) p.parallel.threads = opts_.simThreads;
+    }
     std::tie(out.threadsUsed, out.wallSeconds) =
         fanOut(points, out.results, opts_.threads);
     return out;
@@ -132,6 +135,9 @@ ShardOutcome SweepRunner::runShard(std::vector<ExperimentConfig> points,
         for (size_t i = 0; i < points.size(); i++) {
             points[i].traffic.seed = deriveSweepSeed(opts_.baseSeed, i);
         }
+    }
+    if (opts_.simThreads > 0) {
+        for (ExperimentConfig& p : points) p.parallel.threads = opts_.simThreads;
     }
     out.indices = shardPointIndices(shard, points.size());
     std::vector<ExperimentConfig> slice;

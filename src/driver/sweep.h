@@ -36,6 +36,12 @@ struct SweepOptions {
     /// Overwrite each point's traffic.seed with deriveSweepSeed(baseSeed, i).
     bool deriveSeeds = false;
     uint64_t baseSeed = 99;
+    /// > 0: override every point's parallel.threads, composing point-level
+    /// fan-out with the shard-level parallel engine (sim/parallel.h). Total
+    /// concurrency is then up to threads * simThreads; results stay
+    /// byte-identical either way, so the split is purely a throughput knob
+    /// (many small points: sweep threads; few huge points: sim threads).
+    int simThreads = 0;
 };
 
 struct SweepOutcome {

@@ -107,4 +107,18 @@ void EventLoop::runUntil(Time t) {
     if (now_ < t) now_ = t;
 }
 
+void EventLoop::runBefore(Time t) {
+    for (;;) {
+        dropGhosts();
+        if (heap_.empty() || heap_.front().time >= t) break;
+        runOne();
+    }
+    if (now_ < t) now_ = t;
+}
+
+Time EventLoop::nextEventTime() {
+    dropGhosts();
+    return heap_.empty() ? kNoEvent : heap_.front().time;
+}
+
 }  // namespace homa

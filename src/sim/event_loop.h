@@ -102,6 +102,19 @@ public:
     /// Run all events with time <= t, then advance the clock to t.
     void runUntil(Time t);
 
+    /// Run all events with time strictly < t, then advance the clock to t.
+    /// The parallel engine executes one lookahead window [now, t) per call;
+    /// events at exactly t belong to the next window, so a window boundary
+    /// never splits the FIFO of a single instant across windows.
+    void runBefore(Time t);
+
+    /// Sentinel returned by nextEventTime() when no events are pending.
+    static constexpr Time kNoEvent = INT64_MAX;
+
+    /// Earliest pending event time, or kNoEvent. Non-const: pops cancelled
+    /// ghosts off the heap top so the answer reflects live events only.
+    Time nextEventTime();
+
     /// Pending (live, uncancelled) events.
     size_t pendingEvents() const { return live_; }
     uint64_t executedEvents() const { return executed_; }

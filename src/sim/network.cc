@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace homa {
@@ -9,30 +10,48 @@ std::unique_ptr<Qdisc> Network::makeQdisc() const {
     return std::make_unique<StrictPriorityQdisc>();
 }
 
-Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport)
+Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
+                 int shards)
     : cfg_(cfg), timings_(NetworkTimings::compute(cfg)), rng_(cfg.seed) {
     const int nHosts = cfg_.hostCount();
     const int perRack = cfg_.hostsPerRack;
     const bool multiRack = !cfg_.singleRack();
     const int nAggr = multiRack ? cfg_.aggrSwitches : 0;
 
-    // Hosts first (switch downlinks need them as sinks).
+    // The parallel engine's lookahead is the switch delay, so a zero delay
+    // (like a single rack, where every path is host->TOR->host within one
+    // shard anyway) degenerates to serial.
+    const int nShards = (!multiRack || cfg_.switchDelay <= 0)
+                            ? 1
+                            : std::clamp(shards, 1, cfg_.racks);
+    loops_.reserve(nShards);
+    for (int s = 0; s < nShards; s++) {
+        loops_.push_back(std::make_unique<EventLoop>());
+    }
+    perHostMsg_.assign(nHosts, 0);
+
+    // Hosts first (switch downlinks need them as sinks). Construction stays
+    // fully serial and in a fixed order, so the RNG fork sequence — and
+    // thus every derived stream — is identical at any shard count.
     hosts_.reserve(nHosts);
     for (HostId h = 0; h < nHosts; h++) {
-        hosts_.push_back(std::make_unique<Host>(loop_, h, cfg_.hostLink,
+        hosts_.push_back(std::make_unique<Host>(*loops_[shardOfHost(h)], h,
+                                                cfg_.hostLink,
                                                 cfg_.softwareDelay, rng_.fork()));
     }
 
-    // Aggregation switches.
+    // Aggregation switches, dealt round-robin across shards.
     for (int a = 0; a < nAggr; a++) {
         aggrs_.push_back(std::make_unique<Switch>(
-            loop_, "aggr" + std::to_string(a), cfg_.switchDelay, rng_.fork()));
+            *loops_[a % nShards], "aggr" + std::to_string(a), cfg_.switchDelay,
+            rng_.fork()));
     }
 
     // TORs: ports [0, perRack) are host downlinks, [perRack, perRack+nAggr)
-    // are uplinks.
+    // are uplinks. A TOR lives on its rack's shard.
     for (int r = 0; r < cfg_.racks; r++) {
-        auto tor = std::make_unique<Switch>(loop_, "tor" + std::to_string(r),
+        auto tor = std::make_unique<Switch>(*loops_[shardOfRack(r)],
+                                            "tor" + std::to_string(r),
                                             cfg_.switchDelay, rng_.fork());
         for (int i = 0; i < perRack; i++) {
             tor->addPort(cfg_.hostLink, makeQdisc(), hosts_[r * perRack + i].get());
@@ -65,6 +84,48 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport)
         hosts_[h]->nic().connectTo(tors_[h / perRack].get());
     }
 
+    // Canonical link ids, assigned in topology order: NICs take [0, hosts),
+    // then TOR ports rack-by-rack, then aggr ports. A pure function of the
+    // config, so transit tie-breaks agree across shard counts.
+    int32_t nextLink = nHosts;
+    for (HostId h = 0; h < nHosts; h++) hosts_[h]->nic().setLinkId(h);
+    for (auto& tor : tors_) {
+        for (size_t i = 0; i < tor->portCount(); i++) {
+            tor->port(static_cast<int>(i)).setLinkId(nextLink++);
+        }
+    }
+    for (auto& aggr : aggrs_) {
+        for (size_t i = 0; i < aggr->portCount(); i++) {
+            aggr->port(static_cast<int>(i)).setLinkId(nextLink++);
+        }
+    }
+
+    // Cross-shard links (always TOR<->aggr: host<->TOR is intra-shard by
+    // the rack partition) park completed packets in per-(src,dst) outboxes.
+    if (nShards > 1) {
+        xshard_.assign(nShards,
+                       std::vector<std::vector<RemoteEvent>>(nShards));
+        for (int r = 0; r < cfg_.racks; r++) {
+            const int rs = shardOfRack(r);
+            for (int a = 0; a < nAggr; a++) {
+                const int as = a % nShards;
+                if (rs == as) continue;
+                auto* up = &xshard_[rs][as];
+                Switch* aggr = aggrs_[a].get();
+                tors_[r]->port(perRack + a).setRemoteDeliver(
+                    [up, aggr](Time at, Packet&& p) {
+                        up->push_back(RemoteEvent{at, aggr, std::move(p)});
+                    });
+                auto* down = &xshard_[as][rs];
+                Switch* tor = tors_[r].get();
+                aggrs_[a]->port(r).setRemoteDeliver(
+                    [down, tor](Time at, Packet&& p) {
+                        down->push_back(RemoteEvent{at, tor, std::move(p)});
+                    });
+            }
+        }
+    }
+
     // Transports last: they may inspect timings via their HostServices.
     for (HostId h = 0; h < nHosts; h++) {
         hosts_[h]->setTransport(makeTransport(*hosts_[h]));
@@ -75,12 +136,22 @@ void Network::sendMessage(Message m) {
     assert(m.src >= 0 && m.src < hostCount());
     assert(m.dst >= 0 && m.dst < hostCount());
     assert(m.src != m.dst);
-    m.created = loop_.now();
+    m.created = loopFor(m.src).now();
     hosts_[m.src]->transport().sendMessage(m);
 }
 
 void Network::setDeliveryCallback(Transport::DeliveryCallback cb) {
     for (auto& h : hosts_) h->transport().setDeliveryCallback(cb);
+}
+
+void Network::drainInboxes(int shard) {
+    for (int s = 0; s < shardCount(); s++) {
+        auto& box = xshard_[s][shard];
+        for (RemoteEvent& ev : box) {
+            ev.dst->injectArrival(ev.arrival, std::move(ev.pkt));
+        }
+        box.clear();
+    }
 }
 
 EgressPort& Network::downlink(HostId h) {

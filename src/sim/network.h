@@ -1,9 +1,19 @@
-// Network: owns the event loop, hosts, and switches; wires the topology.
+// Network: owns the event loop(s), hosts, and switches; wires the topology.
 //
 // Fat-tree wiring (Figure 11): every host NIC feeds its rack's TOR; each
 // TOR has one egress port per rack host (downlinks) plus one per
 // aggregation switch (uplinks, packet-sprayed); each aggregation switch has
 // one port per rack. Zero propagation delay; store-and-forward everywhere.
+//
+// Sharding (the parallel engine): with `shards` > 1 the racks — each rack
+// meaning its hosts, their NICs, and its TOR — are dealt round-robin across
+// that many EventLoops, and the aggregation switches likewise. Every
+// host↔TOR link is intra-shard by construction; only TOR↔aggr links can
+// cross shards. A cross-shard link's egress port deposits completed packets
+// into a per-(source shard, destination shard) outbox instead of delivering
+// them; the engine drains outboxes into the peer switches at lookahead
+// window barriers (see sim/parallel.h). With shards == 1 (the default) the
+// wiring, event order, and results are the classic serial ones.
 #pragma once
 
 #include <memory>
@@ -19,9 +29,22 @@ namespace homa {
 
 class Network {
 public:
-    Network(NetworkConfig cfg, const TransportFactory& makeTransport);
+    /// `shards` is clamped to [1, racks]; single-rack topologies and
+    /// zero switch delay (no lookahead) always build one shard.
+    Network(NetworkConfig cfg, const TransportFactory& makeTransport,
+            int shards = 1);
 
-    EventLoop& loop() { return loop_; }
+    /// Shard 0's loop — the only loop when shardCount() == 1, and the one
+    /// whose clock callers may treat as "the" simulation clock (all shards
+    /// agree at barriers and at the end of a run).
+    EventLoop& loop() { return *loops_[0]; }
+
+    int shardCount() const { return static_cast<int>(loops_.size()); }
+    EventLoop& shardLoop(int s) { return *loops_[s]; }
+    EventLoop& loopFor(HostId h) { return *loops_[shardOfHost(h)]; }
+    int shardOfRack(int rack) const { return rack % shardCount(); }
+    int shardOfHost(HostId h) const { return shardOfRack(rackOf(h)); }
+
     const NetworkConfig& config() const { return cfg_; }
     const NetworkTimings& timings() const { return timings_; }
 
@@ -32,10 +55,23 @@ public:
     /// the id must already be unique (use nextMsgId()).
     void sendMessage(Message m);
 
+    /// Global id stream: serial-only issuers (RPC layer, DAG engine, tests).
     MsgId nextMsgId() { return nextMsg_++; }
+
+    /// Per-host id stream, safe to draw from `src`'s shard concurrently.
+    /// Ids pack (src + 1) above bit 40, so they are unique across hosts and
+    /// disjoint from the global stream (which never reaches 2^40).
+    MsgId nextMsgId(HostId src) {
+        return (static_cast<MsgId>(src) + 1) << 40 | perHostMsg_[src]++;
+    }
 
     /// Install a delivery callback on every host's transport.
     void setDeliveryCallback(Transport::DeliveryCallback cb);
+
+    /// Inject every parked cross-shard packet destined for `shard` into its
+    /// target switch (canonical transit order makes the drain order across
+    /// source shards irrelevant). Parallel engine only, at window barriers.
+    void drainInboxes(int shard);
 
     /// The TOR egress port that feeds host h (its downlink). Queue stats
     /// here drive Table 1, Figure 16, and Figure 21.
@@ -50,16 +86,27 @@ public:
     int rackOf(HostId h) const { return h / cfg_.hostsPerRack; }
 
 private:
+    struct RemoteEvent {
+        Time arrival;  // serialization end on the cross-shard link
+        Switch* dst;
+        Packet pkt;
+    };
+
     std::unique_ptr<Qdisc> makeQdisc() const;
 
     NetworkConfig cfg_;
     NetworkTimings timings_;
-    EventLoop loop_;
+    std::vector<std::unique_ptr<EventLoop>> loops_;
     Rng rng_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Switch>> tors_;
     std::vector<std::unique_ptr<Switch>> aggrs_;
+    // xshard_[s][d]: packets emitted by shard s for shard d in the current
+    // window. Written only by shard s's thread, drained only by shard d's —
+    // the window barriers on either side order the accesses.
+    std::vector<std::vector<std::vector<RemoteEvent>>> xshard_;
     MsgId nextMsg_ = 1;
+    std::vector<uint64_t> perHostMsg_;
 };
 
 }  // namespace homa

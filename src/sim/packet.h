@@ -92,6 +92,13 @@ struct Packet {
     // Transient per-hop accounting, reset by each port.
     Time hopEnqueuedAt = 0;
     Duration hopPreemptLagBound = 0;
+    // Canonical id of the link this packet most recently arrived on,
+    // stamped by the transmitting port (-1 until the first hop). Switches
+    // order their internal transit queue by (arrival time, arrivalLink), so
+    // routing order is a pure function of packet arrivals rather than of
+    // event scheduling order — the parallel engine's byte-identity with the
+    // serial engine leans on this.
+    int32_t arrivalLink = -1;
 
     bool isControl() const { return type != PacketType::Data; }
     bool hasFlag(PacketFlag f) const { return (flags & f) != 0; }

@@ -80,10 +80,19 @@ void EgressPort::startTransmission(Packet p) {
         inFlightBytes_ = 0;
         Packet done = std::move(*txPacket_);
         txPacket_.reset();
-        if (peer_ != nullptr) {
+        done.arrivalLink = linkId_;
+        if (remote_) {
+            // Cross-shard link: park the packet in the engine's outbox; it
+            // reaches the peer switch at the next window barrier.
+            done.hops++;
+            remote_(loop_.now(), std::move(done));
+        } else if (peer_ != nullptr) {
             done.hops++;
             peer_->deliver(std::move(done));
         }
+        // Canonical enqueue-before-dequeue: apply all due routings at the
+        // owning switch before this port picks its next packet.
+        if (owner_ != nullptr) owner_->routeDue();
         tryTransmit();
     });
 }

@@ -38,6 +38,20 @@ public:
     virtual std::optional<Packet> pullPacket() = 0;
 };
 
+/// Implemented by store-and-forward switches: route every transit packet
+/// whose internal delay has expired, in the switch's canonical order (see
+/// Switch::routeDue). An EgressPort calls its owning switch's routeDue() at
+/// every transmission boundary *before* dequeuing, so a same-instant
+/// "routing enqueues" / "port dequeues" pair always resolves enqueue-first.
+/// That structural rule — shared by the serial and parallel engines — is
+/// what removes the one same-instant tie whose resolution could differ
+/// between event orders (it changes which packet a priority qdisc yields).
+class DueRouter {
+public:
+    virtual ~DueRouter() = default;
+    virtual void routeDue() = 0;
+};
+
 /// Per-port statistics; Table 1, Figure 14, Figure 16, and Figure 21 are
 /// all computed from these.
 struct PortStats {
@@ -63,6 +77,24 @@ public:
 
     void connectTo(PacketSink* peer) { peer_ = peer; }
     void setSource(PacketSource* src) { source_ = src; }
+
+    /// The switch this port belongs to (null for host NICs): its routeDue()
+    /// is flushed at every transmission boundary, before dequeuing.
+    void setOwner(DueRouter* owner) { owner_ = owner; }
+
+    /// Canonical global link id, assigned once by Network wiring in
+    /// topology order; stamped into every packet this port completes
+    /// (Packet::arrivalLink).
+    void setLinkId(int32_t id) { linkId_ = id; }
+    int32_t linkId() const { return linkId_; }
+
+    /// Cross-shard seam: when set, a completed packet is handed to `fn`
+    /// with its arrival (serialization-end) time instead of being delivered
+    /// to peer_. The parallel engine points this at a per-(src,dst)-shard
+    /// outbox; the packet is re-injected into the peer switch at a window
+    /// barrier via Switch::injectArrival().
+    using RemoteDeliverFn = std::function<void(Time, Packet&&)>;
+    void setRemoteDeliver(RemoteDeliverFn fn) { remote_ = std::move(fn); }
 
     /// Push-style entry; also the PacketSink interface so a port can be the
     /// delivery target of an upstream hop (used by switch wiring).
@@ -94,6 +126,9 @@ private:
     std::unique_ptr<Qdisc> qdisc_;
     PacketSink* peer_ = nullptr;
     PacketSource* source_ = nullptr;
+    DueRouter* owner_ = nullptr;
+    RemoteDeliverFn remote_;
+    int32_t linkId_ = -1;
 
     bool busy_ = false;
     int64_t inFlightBytes_ = 0;

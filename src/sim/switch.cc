@@ -1,5 +1,6 @@
 #include "sim/switch.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -8,24 +9,44 @@ namespace homa {
 int Switch::addPort(Bandwidth bw, std::unique_ptr<Qdisc> qdisc, PacketSink* peer) {
     auto port = std::make_unique<EgressPort>(loop_, bw, std::move(qdisc));
     port->connectTo(peer);
+    port->setOwner(this);
     ports_.push_back(std::move(port));
     return static_cast<int>(ports_.size()) - 1;
 }
 
-void Switch::deliver(Packet p) {
-    assert(route_);
-    transit_.emplace_back(loop_.now() + delay_, std::move(p));
-    loop_.after(delay_, [this] { forwardHead(); });
+void Switch::insertTransit(Time arrival, Packet p) {
+    Transit t{arrival + delay_, p.arrivalLink, std::move(p)};
+    // upper_bound keeps equal keys FIFO. Real links serialize, so two
+    // packets can tie on (route, link) only when tests call deliver()
+    // directly (link -1); FIFO preserves their scheduling order.
+    auto pos = std::upper_bound(
+        transit_.begin(), transit_.end(), t,
+        [](const Transit& a, const Transit& b) {
+            return a.route != b.route ? a.route < b.route : a.link < b.link;
+        });
+    transit_.insert(pos, std::move(t));
 }
 
-void Switch::forwardHead() {
-    assert(!transit_.empty());
-    assert(transit_.front().first == loop_.now());
-    Packet p = std::move(transit_.front().second);
-    transit_.pop_front();
-    const int out = route_(p, rng_);
-    assert(out >= 0 && out < static_cast<int>(ports_.size()));
-    ports_[out]->enqueue(std::move(p));
+void Switch::deliver(Packet p) {
+    insertTransit(loop_.now(), std::move(p));
+    loop_.after(delay_, [this] { routeDue(); });
+}
+
+void Switch::injectArrival(Time arrival, Packet p) {
+    assert(arrival + delay_ >= loop_.now());
+    insertTransit(arrival, std::move(p));
+    loop_.at(arrival + delay_, [this] { routeDue(); });
+}
+
+void Switch::routeDue() {
+    while (!transit_.empty() && transit_.front().route <= loop_.now()) {
+        Packet p = std::move(transit_.front().pkt);
+        transit_.pop_front();
+        assert(route_);
+        const int out = route_(p, rng_);
+        assert(out >= 0 && out < static_cast<int>(ports_.size()));
+        ports_[out]->enqueue(std::move(p));
+    }
 }
 
 }  // namespace homa

@@ -11,6 +11,12 @@ void Samples::add(double v) {
     sum_ += v;
 }
 
+void Samples::absorb(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
+}
+
 double Samples::mean() const {
     return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
 }

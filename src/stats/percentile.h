@@ -14,6 +14,13 @@ class Samples {
 public:
     void add(double v);
 
+    /// Append another collection's samples. The driver records into
+    /// per-host collections and merges them in host order in *both* the
+    /// serial and parallel engines, so the floating-point accumulation
+    /// order of mean() — the one order-sensitive statistic here — is a pure
+    /// function of the samples, not of engine or thread count.
+    void absorb(const Samples& other);
+
     size_t count() const { return values_.size(); }
     bool empty() const { return values_.empty(); }
     double mean() const;

@@ -45,6 +45,13 @@ void SlowdownTracker::recordWithBest(uint32_t size, Duration elapsed,
     }
 }
 
+void SlowdownTracker::absorb(const SlowdownTracker& other) {
+    for (int i = 0; i < 10; i++) buckets_[i].absorb(other.buckets_[i]);
+    all_.absorb(other.all_);
+    shortMessages_.insert(shortMessages_.end(), other.shortMessages_.begin(),
+                          other.shortMessages_.end());
+}
+
 std::vector<SlowdownRow> SlowdownTracker::rows() const {
     std::vector<SlowdownRow> out;
     out.reserve(10);

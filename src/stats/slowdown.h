@@ -49,6 +49,11 @@ public:
     void recordWithBest(uint32_t size, Duration elapsed, Duration best,
                         Duration queueingDelay = 0, Duration preemptionLag = 0);
 
+    /// Merge another tracker's samples and records (same distribution).
+    /// The driver keeps one tracker per destination host and merges them
+    /// in host order — identically in the serial and parallel engines.
+    void absorb(const SlowdownTracker& other);
+
     /// Per-decile rows (10 of them), in ascending size order.
     std::vector<SlowdownRow> rows() const;
 

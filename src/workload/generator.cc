@@ -14,6 +14,8 @@ TrafficGenerator::TrafficGenerator(Network& net, TrafficConfig cfg,
     Rng master(cfg_.seed);
     rngs_.reserve(net_.hostCount());
     for (int h = 0; h < net_.hostCount(); h++) rngs_.push_back(master.fork());
+    perHostGenerated_.assign(net_.hostCount(), 0);
+    perHostGeneratedBytes_.assign(net_.hostCount(), 0);
 
     if (cfg_.scenario.kind == TrafficPatternKind::TraceReplay) {
         trace_ = !cfg_.scenario.traceText.empty()
@@ -120,9 +122,9 @@ void TrafficGenerator::start() {
         for (const TraceRecord& rec : trace_) {
             const Time at = cfg_.start + rec.at;
             if (at >= cfg_.stop) break;  // trace_ is time-sorted
-            net_.loop().at(at, [this, rec] {
+            net_.loopFor(rec.src).at(at, [this, rec] {
                 Message m;
-                m.id = net_.nextMsgId();
+                m.id = net_.nextMsgId(rec.src);
                 m.src = rec.src;
                 m.dst = rec.dst;
                 m.length = rec.size;
@@ -169,23 +171,23 @@ void TrafficGenerator::start() {
         }
         // Random phase so hosts don't fire in lockstep at t=start.
         const Duration phase = exponentialDuration(rngs_[h], gaps_[h]);
-        net_.loop().at(cfg_.start + phase, [this, h] { scheduleNext(h); });
+        net_.loopFor(h).at(cfg_.start + phase, [this, h] { scheduleNext(h); });
     }
 }
 
 void TrafficGenerator::emit(Message m) {
     net_.sendMessage(m);
-    m.created = net_.loop().now();
-    generated_++;
-    generatedBytes_ += m.length;
+    m.created = net_.loopFor(m.src).now();
+    perHostGenerated_[m.src]++;
+    perHostGeneratedBytes_[m.src] += m.length;
     if (onCreate_) onCreate_(m);
 }
 
 void TrafficGenerator::scheduleNext(HostId h) {
-    if (net_.loop().now() >= cfg_.stop) return;
+    if (net_.loopFor(h).now() >= cfg_.stop) return;
 
     Message m;
-    m.id = net_.nextMsgId();
+    m.id = net_.nextMsgId(h);
     m.src = h;
     m.dst = pattern_->pickDestination(h, rngs_[h]);
     assert(m.dst != h);
@@ -193,7 +195,7 @@ void TrafficGenerator::scheduleNext(HostId h) {
     emit(m);
 
     const Duration gap = exponentialDuration(rngs_[h], gaps_[h]);
-    net_.loop().after(gap, [this, h] { scheduleNext(h); });
+    net_.loopFor(h).after(gap, [this, h] { scheduleNext(h); });
 }
 
 void TrafficGenerator::scheduleNextModulated(HostId h) {
@@ -202,10 +204,10 @@ void TrafficGenerator::scheduleNextModulated(HostId h) {
     const double onGap = gaps_[h] * cfg_.scenario.onOff.dutyCycle();
     const Duration onDelay = exponentialDuration(rngs_[h], onGap);
     const Time at = onoff_[h].advance(onDelay);
-    net_.loop().at(at, [this, h] {
-        if (net_.loop().now() >= cfg_.stop) return;
+    net_.loopFor(h).at(at, [this, h] {
+        if (net_.loopFor(h).now() >= cfg_.stop) return;
         Message m;
-        m.id = net_.nextMsgId();
+        m.id = net_.nextMsgId(h);
         m.src = h;
         m.dst = pattern_->pickDestination(h, rngs_[h]);
         assert(m.dst != h);
@@ -257,6 +259,11 @@ void TrafficGenerator::setDagCost(DagCostFn cost) {
 }
 
 void TrafficGenerator::onDelivered(const Message& m) {
+    // Closed-loop and DAG modes have zero-lookahead feedback — a delivery
+    // observed on the destination's shard refills the *source's* window at
+    // the same instant — so the driver always runs them single-shard, and
+    // net_.loop() here is the only loop (same for issueClosedLoop and
+    // issueDagTree below, plus the DagEngine's use of net_.loop()).
     if (dagMode()) {
         dag_->onDelivered(m);
         return;

@@ -60,8 +60,18 @@ public:
     /// after the optional think time (and ON-OFF gating).
     void onDelivered(const Message& m);
 
-    uint64_t generatedMessages() const { return generated_; }
-    int64_t generatedBytes() const { return generatedBytes_; }
+    /// Totals, summed over hosts; call after the run (the per-host cells
+    /// are written from each source host's shard while it runs).
+    uint64_t generatedMessages() const {
+        uint64_t n = 0;
+        for (uint64_t v : perHostGenerated_) n += v;
+        return n;
+    }
+    int64_t generatedBytes() const {
+        int64_t n = 0;
+        for (int64_t v : perHostGeneratedBytes_) n += v;
+        return n;
+    }
 
     /// Mean interarrival time for a weight-1 host (0 for trace replay and
     /// closed loop).
@@ -117,8 +127,10 @@ private:
     std::function<void(const DagTreeResult&)> onTreeComplete_;
     int dagRoots_ = 0;                   // dag mode: hosts [0, dagRoots_)
     int maxOutstanding_ = 0;
-    uint64_t generated_ = 0;
-    int64_t generatedBytes_ = 0;
+    // Cell h is only touched by host h's shard (emit runs on the source
+    // host's loop), so open-loop generation needs no synchronization.
+    std::vector<uint64_t> perHostGenerated_;
+    std::vector<int64_t> perHostGeneratedBytes_;
 };
 
 }  // namespace homa

@@ -159,6 +159,131 @@ TEST(SweepRunner, ResultsIdenticalAtOneAndManyThreads) {
     }
 }
 
+TEST(ParallelDeterminism, MatchesSerialAcrossAllProtocols) {
+    // The tentpole contract of the parallel engine (sim/parallel.h): a run
+    // sharded across worker threads is byte-identical to the serial run —
+    // not statistically close, the same fingerprint — for every protocol.
+    // Conservative windows + the canonical switch-transit order make the
+    // event interleaving a pure function of the configuration.
+    for (Protocol kind : {Protocol::Homa, Protocol::Basic, Protocol::PHost,
+                          Protocol::Pias, Protocol::PFabric, Protocol::Ndp}) {
+        ExperimentConfig cfg = smallConfig(WorkloadId::W2, 0.6, kind);
+        const ExperimentResult serial = runExperiment(cfg);
+        EXPECT_GT(serial.delivered, 0u) << protocolName(kind);
+        cfg.parallel.threads = 4;
+        EXPECT_EQ(resultFingerprint(serial),
+                  resultFingerprint(runExperiment(cfg)))
+            << protocolName(kind);
+    }
+}
+
+TEST(ParallelDeterminism, FingerprintInvariantAcrossThreadCounts) {
+    // Not just serial == 4 threads: every thread count lands on the same
+    // bytes (shard count changes which loop owns which rack, but the
+    // window protocol replays the same global event order regardless).
+    ExperimentConfig cfg = smallConfig(WorkloadId::W3, 0.7);
+    cfg.parallel.threads = 1;
+    const std::string golden = resultFingerprint(runExperiment(cfg));
+    for (int threads : {2, 3, 4}) {
+        cfg.parallel.threads = threads;
+        EXPECT_EQ(golden, resultFingerprint(runExperiment(cfg)))
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelDeterminism, MatchesSerialAcrossScenarios) {
+    // Scenario machinery exercises different generator paths (per-host
+    // arrival processes, ON-OFF modulation, trace replay with explicit
+    // cross-rack sends) — all must replay identically under sharding.
+    ExperimentConfig incast = smallConfig(WorkloadId::W2, 0.6);
+    incast.traffic.scenario.kind = TrafficPatternKind::Incast;
+
+    ExperimentConfig skew = smallConfig(WorkloadId::W3, 0.5, Protocol::PFabric);
+    skew.traffic.scenario.kind = TrafficPatternKind::RackSkew;
+
+    ExperimentConfig perm = smallConfig(WorkloadId::W2, 0.6, Protocol::Pias);
+    perm.traffic.scenario.kind = TrafficPatternKind::Permutation;
+
+    ExperimentConfig bursty = smallConfig(WorkloadId::W1, 0.6);
+    bursty.traffic.scenario.onOff.enabled = true;
+
+    ExperimentConfig trace = smallConfig(WorkloadId::W1, 0.5);
+    trace.traffic.scenario.kind = TrafficPatternKind::TraceReplay;
+    trace.traffic.scenario.traceText =
+        "100 0 17 20000\n"    // cross-rack (rack 0 -> rack 1)
+        "100 17 0 20000\n"    // simultaneous reverse direction
+        "150 5 130 150000\n"  // rack 0 -> rack 8, spans many windows
+        "150 131 6 1000\n"
+        "900 40 41 500\n";    // rack-local, stays inside one shard
+
+    for (const ExperimentConfig& point : {incast, skew, perm, bursty, trace}) {
+        ExperimentConfig par = point;
+        par.parallel.threads = 4;
+        const ExperimentResult a = runExperiment(point);
+        EXPECT_GT(a.deliveredTotal, 0u) << patternName(point.traffic.scenario.kind);
+        EXPECT_EQ(resultFingerprint(a), resultFingerprint(runExperiment(par)))
+            << patternName(point.traffic.scenario.kind);
+    }
+}
+
+TEST(ParallelDeterminism, ZeroLookaheadScenariosFallBackToSerial) {
+    // Closed-loop and DAG scenarios react to deliveries with zero
+    // lookahead, so the driver runs them single-shard whatever
+    // parallel.threads says — the knob must be a no-op, not a crash or a
+    // divergence.
+    ExperimentConfig closed = smallConfig(WorkloadId::W1, 0.5);
+    closed.traffic.scenario.kind = TrafficPatternKind::ClosedLoop;
+    closed.traffic.scenario.closedLoopWindow = 4;
+
+    ExperimentConfig dag = smallConfig(WorkloadId::W1, 0.5);
+    dag.traffic.scenario.kind = TrafficPatternKind::Dag;
+    dag.traffic.scenario.dag.fanout = 4;
+    dag.traffic.scenario.dag.depth = 2;
+    dag.traffic.scenario.dag.roots = 8;
+
+    for (const ExperimentConfig& point : {closed, dag}) {
+        ExperimentConfig par = point;
+        par.parallel.threads = 4;
+        EXPECT_EQ(resultFingerprint(runExperiment(point)),
+                  resultFingerprint(runExperiment(par)));
+    }
+}
+
+TEST(ParallelDeterminism, SingleRackClampsToOneShard) {
+    // A single-switch topology has no cross-shard seam to cut, so the
+    // shard count clamps to 1: asking for threads must be identity.
+    ExperimentConfig cfg = smallConfig(WorkloadId::W2, 0.6);
+    cfg.net = NetworkConfig::singleRack16();
+    const std::string golden = resultFingerprint(runExperiment(cfg));
+    cfg.parallel.threads = 8;
+    EXPECT_EQ(golden, resultFingerprint(runExperiment(cfg)));
+}
+
+TEST(ParallelDeterminism, SweepSimThreadsComposesByteIdentically) {
+    // SweepOptions::simThreads stacks shard-level parallelism under
+    // point-level fan-out; the composition must still reproduce the
+    // serial sweep bit-for-bit (same derived seeds, same fingerprints).
+    std::vector<ExperimentConfig> points;
+    points.push_back(smallConfig(WorkloadId::W1, 0.5));
+    points.push_back(smallConfig(WorkloadId::W3, 0.7, Protocol::PFabric));
+
+    SweepOptions serial;
+    serial.threads = 1;
+    serial.deriveSeeds = true;
+    SweepOptions stacked = serial;
+    stacked.threads = 2;
+    stacked.simThreads = 3;
+
+    SweepOutcome one = SweepRunner(serial).run(points);
+    SweepOutcome many = SweepRunner(stacked).run(points);
+    ASSERT_EQ(one.results.size(), many.results.size());
+    for (size_t i = 0; i < one.results.size(); i++) {
+        EXPECT_EQ(resultFingerprint(one.results[i]),
+                  resultFingerprint(many.results[i]))
+            << "point " << i;
+    }
+}
+
 TEST(SweepRunner, DerivedSeedsDifferPerPointAndReproduce) {
     // Two sweep points with identical configs must still run different
     // experiments (per-point seed derivation) ...

@@ -187,6 +187,105 @@ TEST(EventLoopCancel, RunUntilSkipsCancelledGhosts) {
     EXPECT_EQ(loop.pendingEvents(), 1u);
 }
 
+TEST(EventLoopCancel, CancelAfterRunUntilBoundaryIsExact) {
+    // runUntil(t) runs events at exactly t; a handle for such an event is
+    // stale afterwards, while an event one tick later must still be
+    // cancellable. Locks the boundary the parallel engine's windowed
+    // stepping leans on (<= for runUntil, < for runBefore).
+    EventLoop loop;
+    int atBoundary = 0, afterBoundary = 0;
+    auto hAt = loop.at(100, [&] { atBoundary++; });
+    auto hAfter = loop.at(101, [&] { afterBoundary++; });
+    loop.runUntil(100);
+    EXPECT_EQ(atBoundary, 1);
+    EXPECT_FALSE(loop.pending(hAt));
+    EXPECT_FALSE(loop.cancel(hAt)) << "boundary event already ran";
+    EXPECT_TRUE(loop.pending(hAfter));
+    EXPECT_TRUE(loop.cancel(hAfter));
+    loop.run();
+    EXPECT_EQ(afterBoundary, 0);
+}
+
+TEST(EventLoopCancel, GhostCompactionBoundsHeapUnderChurn) {
+    // Pathological cancel churn: arm and cancel far more events than ever
+    // run. Lazy ghost discarding plus compaction must keep the heap and
+    // slab bounded by the live population, not the churn volume.
+    EventLoop loop;
+    int fired = 0;
+    loop.at(1'000'000, [&] { fired++; });  // one live survivor
+    for (int round = 0; round < 1000; round++) {
+        EventLoop::EventHandle hs[64];
+        for (int i = 0; i < 64; i++) {
+            hs[i] = loop.at(500'000 + round * 64 + i, [&] { fired++; });
+        }
+        for (int i = 0; i < 64; i++) EXPECT_TRUE(loop.cancel(hs[i]));
+    }
+    EXPECT_EQ(loop.pendingEvents(), 1u);
+    // 6464 events were heap-pushed; compaction must have kept the heap to
+    // a small multiple of the single live event, and the slab recycles
+    // freed slots instead of growing per arm.
+    EXPECT_LE(loop.slabSlots(), 128u);
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.executedEvents(), 1u);
+}
+
+TEST(EventLoopWindow, RunBeforeExcludesTheBoundaryInstant) {
+    // runBefore(t) is the parallel engine's window step: strictly-before
+    // semantics, clock parked exactly at t, the t-instant FIFO intact for
+    // the next window.
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(10, [&] { order.push_back(1); });
+    loop.at(20, [&] { order.push_back(2); });  // exactly the boundary
+    loop.at(20, [&] { order.push_back(3); });
+    loop.runBefore(20);
+    EXPECT_EQ(loop.now(), 20);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(loop.pendingEvents(), 2u);
+    loop.runBefore(21);  // next window picks up the whole instant, in order
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), 21);
+}
+
+TEST(EventLoopWindow, RunBeforePreservesSchedulingOrderAcrossWindows) {
+    // Events injected for the boundary instant *during* the window (e.g. a
+    // cross-shard arrival drained at the barrier) must interleave with
+    // pre-existing boundary events purely by scheduling order when the
+    // next window runs them.
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(30, [&] { order.push_back(1); });
+    loop.at(10, [&] {
+        loop.at(30, [&] { order.push_back(2); });  // scheduled mid-window
+    });
+    loop.runBefore(30);
+    EXPECT_TRUE(order.empty());
+    loop.runBefore(40);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopWindow, RunBeforeNeverMovesClockBackwards) {
+    EventLoop loop;
+    loop.runUntil(500);
+    loop.runBefore(100);  // window end in the past: no-op, clock stays
+    EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoopWindow, NextEventTimeSeesThroughGhosts) {
+    // The window-skipping optimization trusts nextEventTime(); a cancelled
+    // ghost at the heap top must not masquerade as the next event.
+    EventLoop loop;
+    EXPECT_EQ(loop.nextEventTime(), EventLoop::kNoEvent);
+    auto h = loop.at(10, [] {});
+    loop.at(50, [] {});
+    EXPECT_EQ(loop.nextEventTime(), 10);
+    loop.cancel(h);
+    EXPECT_EQ(loop.nextEventTime(), 50);
+    loop.run();
+    EXPECT_EQ(loop.nextEventTime(), EventLoop::kNoEvent);
+}
+
 TEST(EventLoopSlab, SlotsAreRecycledAcrossEvents) {
     EventLoop loop;
     std::function<void(int)> chain = [&](int depth) {
