@@ -64,6 +64,16 @@ namespace {
         "  --on-us F / --off-us F  mean burst / idle duration (100 / 300)\n"
         "  --on-off-dist NAME      period distribution: exp|pareto\n"
         "  --on-off-shape F        pareto period shape (> 1, default 1.5)\n"
+        "  --fault SPEC            inject a fault (repeatable), e.g.\n"
+        "                          'flap=aggr0,at=5ms,for=1ms',\n"
+        "                          'kill=aggr1,at=3ms',\n"
+        "                          'degrade=host3,at=1ms,for=5ms,bw=0.5,\n"
+        "                          delay=10us,drop=0.01',\n"
+        "                          'flap-train=aggr2,count=5,gap=2ms,\n"
+        "                          for=500us' (see docs/SCENARIOS.md)\n"
+        "  --ecmp                  deterministic per-message ECMP uplink\n"
+        "                          hash over alive uplinks (default: the\n"
+        "                          paper's per-packet spraying)\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
         "              --overcommit N, --no-incast-control,\n"
@@ -226,6 +236,18 @@ int main(int argc, char** argv) {
         } else if (arg == "--on-off-shape") {
             cfg.traffic.scenario.onOff.paretoShape = std::stod(next());
             onOffKnobSeen = true;
+        } else if (arg == "--fault") {
+            const std::string spec = next();
+            FaultSpec fault;
+            std::string err;
+            if (!parseFaultSpec(spec, fault, &err)) {
+                std::fprintf(stderr, "--fault '%s': %s\n", spec.c_str(),
+                             err.c_str());
+                usage();
+            }
+            cfg.traffic.scenario.faults.push_back(fault);
+        } else if (arg == "--ecmp") {
+            cfg.traffic.scenario.ecmpUplinks = true;
         } else if (arg == "--wire-priorities") {
             cfg.proto.homa.wirePriorities = std::stoi(next());
         } else if (arg == "--sched") {
@@ -318,6 +340,21 @@ int main(int argc, char** argv) {
             usage();
         }
     }
+    // Fault targets check against the *final* topology (--single-rack may
+    // come before or after --fault on the command line).
+    for (const FaultSpec& fault : cfg.traffic.scenario.faults) {
+        if (const char* err = validateFaultSpec(fault, cfg.net)) {
+            std::fprintf(stderr, "--fault '%s': %s\n",
+                         faultSpecToString(fault).c_str(), err);
+            usage();
+        }
+    }
+    if (cfg.traffic.scenario.ecmpUplinks && cfg.net.singleRack()) {
+        std::fprintf(stderr,
+                     "--ecmp contradicts --single-rack: a single rack has "
+                     "no uplinks to hash across\n");
+        usage();
+    }
     if (onOffKnobSeen && !cfg.traffic.scenario.onOff.enabled) {
         std::fprintf(stderr,
                      "--on-us/--off-us/--on-off-dist/--on-off-shape need "
@@ -366,6 +403,10 @@ int main(int argc, char** argv) {
         loadStr += '%';
     }
     std::string patternStr = patternName(cfg.traffic.scenario.kind);
+    if (cfg.traffic.scenario.ecmpUplinks) patternStr += "+ecmp";
+    for (const FaultSpec& fault : cfg.traffic.scenario.faults) {
+        patternStr += "+fault:" + faultSpecToString(fault);
+    }
     if (cfg.traffic.scenario.onOff.enabled) {
         char onOffStr[80];
         std::snprintf(onOffStr, sizeof(onOffStr),
@@ -414,6 +455,21 @@ int main(int argc, char** argv) {
         std::printf("P%d=%.1f ", p, 100 * r.prioUsage[p]);
     }
     std::printf("\n");
+    if (r.faults) {
+        const FaultStats& f = *r.faults;
+        std::printf(
+            "faults: %llu flaps, %llu kills, %llu degrades scheduled\n",
+            static_cast<unsigned long long>(f.linkDownEvents),
+            static_cast<unsigned long long>(f.switchKills),
+            static_cast<unsigned long long>(f.degradeEvents));
+        std::printf(
+            "  fault drops: %llu on-wire, %llu degraded-loss, %llu "
+            "dead-switch ingress, %llu flushed at death\n",
+            static_cast<unsigned long long>(f.wireDrops),
+            static_cast<unsigned long long>(f.probDrops),
+            static_cast<unsigned long long>(f.deadIngressDrops),
+            static_cast<unsigned long long>(f.flushDrops));
+    }
     if (r.closedLoop) {
         const ClosedLoopTracker& cl = *r.closedLoop;
         std::printf(

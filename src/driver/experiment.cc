@@ -95,10 +95,25 @@ uint64_t sumDrops(Network& net, bool trims) {
     uint64_t total = 0;
     auto add = [&](const EgressPort* p) {
         total += trims ? p->qdisc().stats().trimmed : p->qdisc().stats().dropped;
+        // Fault-injection losses at switch ports count as switch drops
+        // too: a packet mid-wire when the link died, or lost on a
+        // degraded link (both zero on healthy fabrics).
+        if (!trims) {
+            total += p->stats().faultWireDrops + p->stats().faultProbDrops;
+        }
     };
     for (const auto* p : net.torDownlinkPorts()) add(p);
     for (const auto* p : net.torUplinkPorts()) add(p);
     for (const auto* p : net.aggrDownlinkPorts()) add(p);
+    if (!trims) {
+        // A dead switch's discarded arrivals and flushed queues as well.
+        for (int r = 0; r < net.rackCount(); r++) {
+            total += net.tor(r).deadIngressDrops() + net.tor(r).flushDrops();
+        }
+        for (int a = 0; a < net.aggrCount(); a++) {
+            total += net.aggr(a).deadIngressDrops() + net.aggr(a).flushDrops();
+        }
+    }
     return total;
 }
 
@@ -122,11 +137,26 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
 
     NetworkConfig netCfg = cfg.net;
     if (!netCfg.switchQdisc) netCfg.switchQdisc = switchQdiscFor(cfg.proto);
+    if (cfg.traffic.scenario.ecmpUplinks) {
+        netCfg.uplinkPolicy = UplinkPolicy::Ecmp;
+    }
 
     Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist),
                 requestedShards(cfg));
     Oracle oracle(netCfg);
     const int n = net.hostCount();
+
+    // Fault timeline first, right after construction: setup-scheduled
+    // events sort before any runtime event at the same instant on their
+    // shard's loop (EventLoop ordering contract), so fault transitions
+    // apply before same-instant traffic in serial and parallel alike.
+    std::unique_ptr<FaultTimeline> faults;
+    if (!cfg.traffic.scenario.faults.empty()) {
+        faults = std::make_unique<FaultTimeline>(
+            net, cfg.traffic.scenario.faults,
+            deriveFaultSeed(cfg.traffic.seed));
+        faults->schedule();
+    }
 
     ExperimentResult result;
     result.slowdown = std::make_unique<SlowdownTracker>(dist, oracle.oneWayFn());
@@ -297,6 +327,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     result.torDown = summarizeQueues(net.torDownlinkPorts(), elapsed);
     result.switchDrops = sumDrops(net, false);
     result.switchTrims = sumDrops(net, true);
+    if (faults) {
+        result.faults = std::make_unique<FaultStats>(faults->collect());
+    }
 
     // Kept up = the backlog of undelivered bytes did not grow over the
     // measurement window (beyond heavy-tail noise and in-flight slack),

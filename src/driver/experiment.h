@@ -13,6 +13,7 @@
 #include "baselines/streaming.h"
 #include "core/homa_transport.h"
 #include "driver/oracle.h"
+#include "sim/fault.h"
 #include "sim/parallel.h"
 #include "stats/closed_loop.h"
 #include "stats/counters.h"
@@ -97,6 +98,11 @@ struct ExperimentResult {
     /// Closed-loop/dag scenarios only: peak per-host outstanding count the
     /// generator observed (never exceeds the configured window).
     int maxOutstanding = 0;
+
+    /// Fault scenarios only (null otherwise): fault event counts and
+    /// drops by cause (sim/fault.h). The by-cause drops on switch ports
+    /// are also folded into `switchDrops`.
+    std::unique_ptr<FaultStats> faults;
 
     /// True when the protocol kept up with the offered load: the backlog
     /// of undelivered messages at the end of generation is bounded.

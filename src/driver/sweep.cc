@@ -213,6 +213,16 @@ std::string resultFingerprint(const ExperimentResult& r) {
         appendNum(s, "dagSlowP50", r.dag->slowdownPercentile(0.50));
         appendNum(s, "dagSlowP99", r.dag->slowdownPercentile(0.99));
     }
+    if (r.faults) {
+        appendInt(s, "faultLinkDown", r.faults->linkDownEvents);
+        appendInt(s, "faultLinkUp", r.faults->linkUpEvents);
+        appendInt(s, "faultKills", r.faults->switchKills);
+        appendInt(s, "faultDegrades", r.faults->degradeEvents);
+        appendInt(s, "faultWireDrops", r.faults->wireDrops);
+        appendInt(s, "faultProbDrops", r.faults->probDrops);
+        appendInt(s, "faultDeadIngress", r.faults->deadIngressDrops);
+        appendInt(s, "faultFlushDrops", r.faults->flushDrops);
+    }
     if (r.slowdown) {
         appendNum(s, "p50", r.slowdown->overallPercentile(0.50));
         appendNum(s, "p99", r.slowdown->overallPercentile(0.99));

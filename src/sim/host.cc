@@ -32,6 +32,7 @@ void Host::deliver(Packet p) {
     // parallel, each with a fixed 1.5 us software delay before the
     // transport can react (and before a response packet can be sent).
     assert(transport_ != nullptr);
+    rxPackets_++;
     pendingRx_.push_back(std::move(p));
     loop_.after(softwareDelay_, [this] { processHead(); });
 }

@@ -23,6 +23,12 @@ public:
     Transport& transport() { return *transport_; }
     EgressPort& nic() { return nic_; }
 
+    /// Packets fully received off the TOR downlink (conservation
+    /// accounting in test_fault: every packet a NIC started serializing is
+    /// eventually received here, dropped somewhere with a counted cause,
+    /// or still in flight).
+    uint64_t rxPackets() const { return rxPackets_; }
+
     // PacketSink: packet fully received from the TOR downlink.
     void deliver(Packet p) override;
 
@@ -49,6 +55,7 @@ private:
     // Packets waiting out the software delay (fixed delay => FIFO); member
     // storage keeps the scheduled events pointer-sized.
     std::deque<Packet> pendingRx_;
+    uint64_t rxPackets_ = 0;
 };
 
 }  // namespace homa

@@ -60,12 +60,47 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
             tor->addPort(cfg_.coreLink, makeQdisc(), aggrs_[a].get());
         }
         const int rack = r;
-        tor->setRoute([this, rack, perRack, nAggr](const Packet& p, Rng& rng) {
-            assert(p.dst >= 0 && p.dst < cfg_.hostCount());
-            if (p.dst / perRack == rack) return p.dst % perRack;
-            // Per-packet spraying across the uplinks (§2.2).
-            return perRack + static_cast<int>(rng.below(nAggr));
-        });
+        if (cfg_.uplinkPolicy == UplinkPolicy::Ecmp) {
+            // Deterministic per-message multi-path hash over the *alive*
+            // uplinks: a dead aggr's traffic reroutes instead of
+            // blackholing. Liveness is the TOR's own uplink port state —
+            // shard-local by construction (fault events for a TOR's
+            // uplinks are scheduled on the TOR's shard), so the choice is
+            // a pure function of (packet, fault schedule, time) and
+            // serial == parallel holds.
+            Switch* torPtr = tor.get();
+            tor->setRoute([this, torPtr, rack, perRack, nAggr](const Packet& p,
+                                                               Rng&) {
+                assert(p.dst >= 0 && p.dst < cfg_.hostCount());
+                if (p.dst / perRack == rack) return p.dst % perRack;
+                uint64_t h = mix64((static_cast<uint64_t>(p.src) << 32) ^
+                                   static_cast<uint64_t>(static_cast<uint32_t>(p.dst)));
+                h = mix64(h ^ static_cast<uint64_t>(p.msg));
+                int alive = 0;
+                for (int a = 0; a < nAggr; a++) {
+                    if (torPtr->port(perRack + a).linkUp()) alive++;
+                }
+                if (alive == 0) {
+                    // Every uplink dead: nowhere to reroute; pick by hash
+                    // (the packet dies on the downed port like spray would).
+                    return perRack + static_cast<int>(h % static_cast<uint64_t>(nAggr));
+                }
+                int pick = static_cast<int>(h % static_cast<uint64_t>(alive));
+                for (int a = 0; a < nAggr; a++) {
+                    if (!torPtr->port(perRack + a).linkUp()) continue;
+                    if (pick-- == 0) return perRack + a;
+                }
+                assert(false);
+                return perRack;
+            });
+        } else {
+            tor->setRoute([this, rack, perRack, nAggr](const Packet& p, Rng& rng) {
+                assert(p.dst >= 0 && p.dst < cfg_.hostCount());
+                if (p.dst / perRack == rack) return p.dst % perRack;
+                // Per-packet spraying across the uplinks (§2.2).
+                return perRack + static_cast<int>(rng.below(nAggr));
+            });
+        }
         tors_.push_back(std::move(tor));
     }
 
@@ -152,6 +187,14 @@ void Network::drainInboxes(int shard) {
         }
         box.clear();
     }
+}
+
+size_t Network::pendingRemotePackets() const {
+    size_t n = 0;
+    for (const auto& row : xshard_) {
+        for (const auto& box : row) n += box.size();
+    }
+    return n;
 }
 
 EgressPort& Network::downlink(HostId h) {

@@ -83,7 +83,14 @@ public:
     std::vector<const EgressPort*> torDownlinkPorts() const;
 
     Switch& tor(int rack) { return *tors_[rack]; }
+    Switch& aggr(int a) { return *aggrs_[a]; }
+    int rackCount() const { return cfg_.racks; }
+    int aggrCount() const { return static_cast<int>(aggrs_.size()); }
     int rackOf(HostId h) const { return h / cfg_.hostsPerRack; }
+
+    /// Cross-shard packets parked in outboxes but not yet injected (0 in
+    /// serial runs; used by the conservation accounting in test_fault).
+    size_t pendingRemotePackets() const;
 
 private:
     struct RemoteEvent {

@@ -34,8 +34,68 @@ void EgressPort::enqueue(Packet p) {
     tryTransmit();
 }
 
+void EgressPort::faultLinkDown() {
+    const bool wasUp = linkUp();
+    downCount_++;
+    if (wasUp) abortTransmission();
+}
+
+void EgressPort::faultLinkUp() {
+    if (downCount_ > 0) downCount_--;
+    if (!linkUp()) return;
+    // Canonical enqueue-before-dequeue: route everything due at the owning
+    // switch before this port picks its next packet (see DueRouter).
+    if (owner_ != nullptr) owner_->routeDue();
+    tryTransmit();
+}
+
+void EgressPort::faultKill() {
+    const bool wasUp = linkUp();
+    killed_ = true;
+    if (wasUp) abortTransmission();
+}
+
+void EgressPort::abortTransmission() {
+    if (!busy_) return;
+    loop_.cancel(txEvent_);
+    txEvent_ = {};
+    // The refund keeps busyTime equal to time the wire actually served.
+    stats_.busyTime -= txEndsAt_ - loop_.now();
+    busy_ = false;
+    inFlightBytes_ = 0;
+    txPacket_.reset();
+    stats_.faultWireDrops++;
+}
+
+void EgressPort::setDegrade(double bwFactor, Duration extraDelay,
+                            double dropProb, uint64_t rngSeed) {
+    assert(bwFactor > 0.0 && bwFactor <= 1.0);
+    assert(dropProb >= 0.0 && dropProb < 1.0);
+    degradeBwFactor_ = bwFactor;
+    degradeExtraDelay_ = extraDelay;
+    degradeDropProb_ = dropProb;
+    // One persistent stream per port: repeated windows continue it, so the
+    // draw sequence is a pure function of (seed, packets serialized while
+    // degraded), never of how many windows the schedule used.
+    if (dropProb > 0.0 && !faultRng_) faultRng_.emplace(rngSeed);
+}
+
+void EgressPort::clearDegrade() {
+    degradeBwFactor_ = 1.0;
+    degradeExtraDelay_ = 0;
+    degradeDropProb_ = 0.0;
+}
+
+uint64_t EgressPort::dropAllQueued() {
+    uint64_t n = 0;
+    noteQueueChange();
+    while (qdisc_->dequeue()) n++;
+    noteQueueChange();
+    return n;
+}
+
 void EgressPort::tryTransmit() {
-    if (busy_) return;
+    if (busy_ || !linkUp()) return;
     noteQueueChange();
     std::optional<Packet> next = qdisc_->dequeue();
     noteQueueChange();
@@ -60,7 +120,12 @@ void EgressPort::startTransmission(Packet p) {
     p.queueingDelay += waited - lag;
 
     const int64_t wire = p.wireBytes();
-    const Duration serialization = bw_.serialize(wire);
+    Duration serialization = bw_.serialize(wire);
+    if (degradeBwFactor_ < 1.0) {
+        serialization = static_cast<Duration>(
+            static_cast<double>(serialization) / degradeBwFactor_);
+    }
+    serialization += degradeExtraDelay_;
     busy_ = true;
     inFlightBytes_ = wire;
     txPriority_ = p.priority;
@@ -75,13 +140,18 @@ void EgressPort::startTransmission(Packet p) {
     // capture pointer-sized keeps the event inside the EventLoop's inline
     // slab slot, which matters at tens of millions of events per run.
     txPacket_ = std::move(p);
-    loop_.at(txEndsAt_, [this] {
+    txEvent_ = loop_.at(txEndsAt_, [this] {
         busy_ = false;
         inFlightBytes_ = 0;
+        txEvent_ = {};
         Packet done = std::move(*txPacket_);
         txPacket_.reset();
         done.arrivalLink = linkId_;
-        if (remote_) {
+        if (degradeDropProb_ > 0.0 && faultRng_->chance(degradeDropProb_)) {
+            // Lost on the degraded wire: it burned serialization time but
+            // never reaches the peer.
+            stats_.faultProbDrops++;
+        } else if (remote_) {
             // Cross-shard link: park the packet in the engine's outbox; it
             // reaches the peer switch at the next window barrier.
             done.hops++;

@@ -21,6 +21,7 @@
 #include "sim/event_loop.h"
 #include "sim/packet.h"
 #include "sim/qdisc.h"
+#include "sim/random.h"
 #include "sim/time.h"
 
 namespace homa {
@@ -59,6 +60,12 @@ struct PortStats {
     int64_t wireBytesSent = 0;
     int64_t bytesByPriority[kPriorityLevels] = {};
     Duration busyTime = 0;
+
+    // Fault-injection drops (sim/fault.h). `packetsSent` and
+    // `wireBytesSent` count *started* transmissions, so both causes below
+    // subtract from what actually reached the peer.
+    uint64_t faultWireDrops = 0;  // on-wire packet killed by link-down
+    uint64_t faultProbDrops = 0;  // degraded-link probabilistic loss
 
     // Time-weighted queue occupancy (buffer bytes, excluding the packet on
     // the wire), maintained on every queue change.
@@ -104,6 +111,33 @@ public:
     /// Re-poll the pull source (call when the source gains data).
     void kick() { tryTransmit(); }
 
+    // ----------------------------------------------------------- faults
+    // Hooks driven by FaultTimeline (sim/fault.h). Link-down states nest
+    // (overlapping flap windows hold the link down until every window has
+    // lifted); a kill is permanent. Taking the link down mid-transmission
+    // kills the on-wire packet (stats().faultWireDrops) and refunds its
+    // unserved busy time.
+
+    /// One more reason the link is down; kills any on-wire packet.
+    void faultLinkDown();
+    /// One reason lifted; resumes transmitting when none remain.
+    void faultLinkUp();
+    /// Permanent death (a dead switch's links never come back).
+    void faultKill();
+    bool linkUp() const { return downCount_ == 0 && !killed_; }
+
+    /// Degraded-link state: serialization slowed by 1/bwFactor, every
+    /// packet holds the link `extraDelay` longer, and each packet is lost
+    /// with probability dropProb at serialization end (drawn from a
+    /// deterministic per-port RNG seeded with `rngSeed`; the RNG persists
+    /// across degrade windows so repeated windows continue one stream).
+    void setDegrade(double bwFactor, Duration extraDelay, double dropProb,
+                    uint64_t rngSeed);
+    void clearDegrade();
+
+    /// Discard every queued packet (switch death); returns how many.
+    uint64_t dropAllQueued();
+
     bool busy() const { return busy_; }
     bool idle() const { return !busy_ && qdisc_->queuedPackets() == 0; }
     Bandwidth bandwidth() const { return bw_; }
@@ -120,6 +154,7 @@ private:
     void tryTransmit();
     void startTransmission(Packet p);
     void noteQueueChange();
+    void abortTransmission();
 
     EventLoop& loop_;
     Bandwidth bw_;
@@ -135,6 +170,15 @@ private:
     uint8_t txPriority_ = 0;   // priority of the packet on the wire
     Time txEndsAt_ = 0;
     std::optional<Packet> txPacket_;  // the packet on the wire
+    EventLoop::EventHandle txEvent_;  // serialization-end event (cancellable)
+
+    // Fault state (sim/fault.h).
+    int downCount_ = 0;
+    bool killed_ = false;
+    double degradeBwFactor_ = 1.0;
+    Duration degradeExtraDelay_ = 0;
+    double degradeDropProb_ = 0.0;
+    std::optional<Rng> faultRng_;
 
     PortStats stats_;
 };

@@ -28,14 +28,45 @@ void Switch::insertTransit(Time arrival, Packet p) {
 }
 
 void Switch::deliver(Packet p) {
+    if (dead_) {
+        deadIngressDrops_++;
+        return;
+    }
     insertTransit(loop_.now(), std::move(p));
     loop_.after(delay_, [this] { routeDue(); });
 }
 
 void Switch::injectArrival(Time arrival, Packet p) {
+    if (dead_) {
+        // A parked cross-shard packet can reach a dead switch after the
+        // kill event even though its wire arrival preceded the death: the
+        // serial engine would have put it in transit and flushed it at the
+        // kill, so attribute by arrival time to keep the by-cause counters
+        // byte-identical to serial. (Ties go to ingress drops: the kill is
+        // a setup-scheduled event and sorts before arrivals at the same
+        // instant.)
+        if (arrival < diedAt_) {
+            flushDrops_++;
+        } else {
+            deadIngressDrops_++;
+        }
+        return;
+    }
     assert(arrival + delay_ >= loop_.now());
     insertTransit(arrival, std::move(p));
     loop_.at(arrival + delay_, [this] { routeDue(); });
+}
+
+void Switch::kill() {
+    if (dead_) return;
+    dead_ = true;
+    diedAt_ = loop_.now();
+    flushDrops_ += transit_.size();
+    transit_.clear();
+    for (auto& port : ports_) {
+        flushDrops_ += port->dropAllQueued();
+        port->faultKill();
+    }
 }
 
 void Switch::routeDue() {

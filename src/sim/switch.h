@@ -57,6 +57,19 @@ public:
     /// canonical (arrival, link) order. Idempotent; safe to over-call.
     void routeDue() override;
 
+    /// Permanent death (fault injection, sim/fault.h): discard everything
+    /// queued or in transit (flushDrops), down every egress port (killing
+    /// on-wire packets), and discard all future arrivals
+    /// (deadIngressDrops). Idempotent.
+    void kill();
+    bool dead() const { return dead_; }
+    uint64_t deadIngressDrops() const { return deadIngressDrops_; }
+    uint64_t flushDrops() const { return flushDrops_; }
+
+    /// Packets waiting out the internal delay (conservation accounting).
+    size_t transitCount() const { return transit_.size(); }
+
+    EventLoop& loop() { return loop_; }
     EgressPort& port(int i) { return *ports_[i]; }
     const EgressPort& port(int i) const { return *ports_[i]; }
     size_t portCount() const { return ports_.size(); }
@@ -81,6 +94,11 @@ private:
     // Packets inside the switch, sorted by (route, link). Kept as a member
     // so the scheduled kick events capture only `this`.
     std::deque<Transit> transit_;
+
+    bool dead_ = false;
+    Time diedAt_ = 0;  // kill() instant, for cross-shard drop attribution
+    uint64_t deadIngressDrops_ = 0;
+    uint64_t flushDrops_ = 0;
 };
 
 }  // namespace homa

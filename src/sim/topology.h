@@ -10,6 +10,13 @@
 
 namespace homa {
 
+/// TOR uplink choice for cross-rack packets.
+enum class UplinkPolicy {
+    Spray,  // per-packet random spraying across all uplinks (§2.2 default)
+    Ecmp,   // deterministic per-message hash over the *alive* uplinks, so
+            // a dead aggregation switch reroutes instead of blackholing
+};
+
 struct NetworkConfig {
     // Figure 11: 9 racks x 16 hosts, 4 aggregation switches. Setting
     // aggrSwitches = 0 (or racks = 1) produces the single-switch 16-host
@@ -24,6 +31,12 @@ struct NetworkConfig {
     Duration softwareDelay = nanoseconds(1500);
 
     uint64_t seed = 1;
+
+    /// Cross-rack uplink choice at the TORs. The hash-based Ecmp policy
+    /// consults link liveness (fault injection), a pure function of the
+    /// packet and the TOR-local fault schedule — deterministic at any
+    /// shard count.
+    UplinkPolicy uplinkPolicy = UplinkPolicy::Spray;
 
     /// Factory for switch egress queues; default is an unbounded
     /// strict-priority queue (commodity switch with 8 levels and buffers

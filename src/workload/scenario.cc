@@ -56,26 +56,65 @@ bool onOffDistFromName(const std::string& name, OnOffDist& out) {
     return false;
 }
 
-bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out) {
-    std::string pattern = spec;
-    bool onOff = false;
-    const size_t plus = spec.find('+');
-    if (plus != std::string::npos) {
-        if (spec.substr(plus + 1) != "on-off") return false;
-        pattern = spec.substr(0, plus);
-        onOff = true;
+bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
+                      std::string* err) {
+    auto fail = [err](const std::string& why) {
+        if (err) *err = why;
+        return false;
+    };
+    // Split on '+': the first segment is the pattern, the rest modifiers.
+    std::vector<std::string> segs;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t plus = std::min(spec.find('+', pos), spec.size());
+        segs.push_back(spec.substr(pos, plus - pos));
+        pos = plus + 1;
+        if (plus == spec.size()) break;
     }
+
     ScenarioConfig parsed;
-    // Only dag takes parameters: "dag:fanout=40,depth=2".
+    const std::string& pattern = segs[0];
+    // Only dag takes ':' parameters: "dag:fanout=40,depth=2".
     const size_t colon = pattern.find(':');
     if (colon != std::string::npos) {
-        if (pattern.substr(0, colon) != "dag") return false;
-        if (!parseDagSpec(pattern.substr(colon + 1), parsed.dag)) return false;
+        const std::string head = pattern.substr(0, colon);
+        if (head == "fault") {
+            return fail("a fault segment cannot come first: the spec is "
+                        "'<pattern>[+fault:...]' (e.g. "
+                        "\"uniform+fault:flap=aggr0,at=5ms,for=1ms\")");
+        }
+        if (head != "dag") {
+            return fail("pattern '" + head + "' takes no ':' parameters "
+                        "(only dag does)");
+        }
+        if (!parseDagSpec(pattern.substr(colon + 1), parsed.dag)) {
+            return fail("bad dag spec '" + pattern.substr(colon + 1) +
+                        "' (keys: fanout, depth, window, roots, req, resp, "
+                        "straggler, factor)");
+        }
         parsed.kind = TrafficPatternKind::Dag;
     } else if (!patternFromName(pattern, parsed.kind)) {
-        return false;
+        return fail("unknown pattern '" + pattern + "'");
     }
-    parsed.onOff.enabled = onOff;
+
+    for (size_t i = 1; i < segs.size(); i++) {
+        const std::string& seg = segs[i];
+        if (seg == "on-off") {
+            parsed.onOff.enabled = true;
+        } else if (seg == "ecmp") {
+            parsed.ecmpUplinks = true;
+        } else if (seg.rfind("fault:", 0) == 0) {
+            FaultSpec fs;
+            std::string ferr;
+            if (!parseFaultSpec(seg.substr(6), fs, &ferr)) {
+                return fail("bad fault spec '" + seg.substr(6) + "': " + ferr);
+            }
+            parsed.faults.push_back(fs);
+        } else {
+            return fail("unknown scenario modifier '" + seg +
+                        "' (expected on-off, ecmp, or fault:...)");
+        }
+    }
     out = parsed;
     return true;
 }

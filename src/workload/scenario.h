@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/packet.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -113,15 +114,30 @@ struct ScenarioConfig {
     // ON-OFF burst/idle modulation; composes with every pattern above
     // except TraceReplay (which carries its own explicit timing).
     OnOffConfig onOff;
+
+    // Fault injection (sim/fault.h): link flaps, switch death, degraded
+    // links, scheduled deterministically on the event loops. Composes
+    // with every pattern; runExperiment builds a FaultTimeline from these
+    // and reports FaultStats in ExperimentResult::faults.
+    std::vector<FaultSpec> faults;
+
+    // TOR uplink choice: false = the paper's per-packet random spraying;
+    // true = deterministic per-message ECMP hash over the *alive* uplinks
+    // so a dead aggregation switch reroutes instead of blackholing.
+    bool ecmpUplinks = false;
 };
 
-/// Parses a scenario spec of the form "<pattern>" or "<pattern>+on-off"
-/// (e.g. "incast+on-off"), leaving all knobs at their defaults — except
-/// `dag`, which takes parameters: "dag[:k=v,k=v...][+on-off]", e.g.
-/// "dag:fanout=40,depth=2+on-off" (keys per parseDagSpec). Returns false
-/// and leaves `out` untouched on malformed specs. This is the syntax the
+/// Parses a scenario spec: a pattern segment followed by '+'-separated
+/// modifiers, e.g. "incast+on-off", "uniform+ecmp+fault:flap=aggr0,
+/// at=50ms,for=10ms+fault:degrade=host3,drop=0.01". The pattern leaves
+/// all knobs at defaults — except `dag`, which takes parameters:
+/// "dag[:k=v,k=v...]" (keys per parseDagSpec). Modifiers: "on-off",
+/// "ecmp", and any number of "fault:<body>" segments (parseFaultSpec).
+/// Returns false and leaves `out` untouched on malformed specs, with a
+/// human-readable reason in *err (if given). This is the syntax the
 /// figure benches accept via HOMA_SCENARIO.
-bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out);
+bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
+                      std::string* err = nullptr);
 
 /// One trace-replay record; `at` is an offset from TrafficConfig::start.
 struct TraceRecord {

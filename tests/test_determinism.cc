@@ -284,6 +284,101 @@ TEST(ParallelDeterminism, SweepSimThreadsComposesByteIdentically) {
     }
 }
 
+// ------------------------------------------------------ fault goldens
+
+ExperimentConfig faultConfig(Protocol kind, const std::string& faultBody,
+                             bool ecmp = false) {
+    ExperimentConfig cfg = smallConfig(WorkloadId::W2, 0.6, kind);
+    FaultSpec f;
+    std::string err;
+    EXPECT_TRUE(parseFaultSpec(faultBody, f, &err)) << faultBody << ": " << err;
+    cfg.traffic.scenario.faults.push_back(f);
+    cfg.traffic.scenario.ecmpUplinks = ecmp;
+    return cfg;
+}
+
+TEST(FaultDeterminism, FaultRunsReplayByteIdentically) {
+    // A faulted run is still a pure function of the seed: the flap
+    // schedule, the degrade RNG draws, and the flap-train expansion all
+    // derive from it, so same seed => same fingerprint (fault counters
+    // included), different seed => different results.
+    for (const char* body :
+         {"flap=aggr0,at=500us,for=200us",
+          "degrade=aggr1,at=200us,for=1ms,bw=0.5,drop=0.02",
+          "flap-train=aggr2,at=100us,count=5,gap=300us,for=80us"}) {
+        ExperimentConfig cfg = faultConfig(Protocol::Homa, body);
+        const ExperimentResult a = runExperiment(cfg);
+        ASSERT_TRUE(a.faults) << body;
+        EXPECT_GT(a.delivered, 0u) << body;
+        EXPECT_EQ(resultFingerprint(a), resultFingerprint(runExperiment(cfg)))
+            << body;
+        ExperimentConfig reseeded = cfg;
+        reseeded.traffic.seed = cfg.traffic.seed + 1;
+        EXPECT_NE(resultFingerprint(a),
+                  resultFingerprint(runExperiment(reseeded)))
+            << body;
+    }
+}
+
+TEST(FaultDeterminism, SerialEqualsParallelUnderFaults) {
+    // The fault layer composes with the parallel engine: every primitive
+    // action lands on its owning shard's loop before the run starts, so a
+    // faulted sharded run is byte-identical to the serial one — including
+    // the drop-by-cause counters in the fingerprint.
+    struct Case {
+        Protocol kind;
+        const char* body;
+        bool ecmp;
+    };
+    const Case cases[] = {
+        {Protocol::Homa, "flap=aggr0,at=500us,for=200us", false},
+        {Protocol::PFabric, "degrade=aggr1,at=200us,for=1ms,bw=0.5,drop=0.02",
+         false},
+        {Protocol::Ndp, "kill=aggr0,at=400us", true},
+        {Protocol::Basic, "flap-train=tor1,at=100us,count=4,gap=250us,for=60us",
+         false},
+    };
+    for (const Case& c : cases) {
+        ExperimentConfig cfg = faultConfig(c.kind, c.body, c.ecmp);
+        const ExperimentResult serial = runExperiment(cfg);
+        ASSERT_TRUE(serial.faults) << c.body;
+        EXPECT_GT(serial.faults->linkDownEvents + serial.faults->switchKills +
+                      serial.faults->degradeEvents,
+                  0u)
+            << c.body;
+        cfg.parallel.threads = 4;
+        EXPECT_EQ(resultFingerprint(serial),
+                  resultFingerprint(runExperiment(cfg)))
+            << protocolName(c.kind) << " " << c.body;
+    }
+}
+
+TEST(SweepRunner, FaultPointsIdenticalAtOneAndManyThreads) {
+    // Fault scenarios ride through the sweep fan-out like any other point.
+    std::vector<ExperimentConfig> points;
+    points.push_back(faultConfig(Protocol::Homa, "flap=aggr0,at=500us,for=200us"));
+    points.push_back(faultConfig(Protocol::PFabric, "kill=aggr1,at=400us",
+                                 /*ecmp=*/true));
+    points.push_back(smallConfig(WorkloadId::W1, 0.5));  // fault-free control
+
+    SweepOptions serial;
+    serial.threads = 1;
+    serial.deriveSeeds = true;
+    SweepOptions parallel = serial;
+    parallel.threads = 4;
+
+    const SweepOutcome one = SweepRunner(serial).run(points);
+    const SweepOutcome many = SweepRunner(parallel).run(points);
+    ASSERT_EQ(one.results.size(), many.results.size());
+    ASSERT_TRUE(one.results[0].faults);
+    ASSERT_FALSE(one.results[2].faults);
+    for (size_t i = 0; i < one.results.size(); i++) {
+        EXPECT_EQ(resultFingerprint(one.results[i]),
+                  resultFingerprint(many.results[i]))
+            << "point " << i;
+    }
+}
+
 TEST(SweepRunner, DerivedSeedsDifferPerPointAndReproduce) {
     // Two sweep points with identical configs must still run different
     // experiments (per-point seed derivation) ...
