@@ -37,6 +37,12 @@ namespace {
         "                          across N threads (default 1 = serial;\n"
         "                          results are identical either way)\n"
         "  --single-rack           16-host cluster instead of the fat-tree\n"
+        "  --topo SPEC             topology override, comma-separated k=v:\n"
+        "                          racks, hosts (per rack), aggr (per pod),\n"
+        "                          core, oversub, pods — e.g.\n"
+        "                          'racks=8,hosts=4,aggr=2,core=2,oversub=4'\n"
+        "                          (core>0 adds a third tier; see\n"
+        "                          docs/SCENARIOS.md)\n"
         "  --pattern NAME          uniform|permutation|rack-skew|incast|\n"
         "                          pareto|trace|closed-loop (default uniform)\n"
         "  --hotspots N            incast: number of hot receivers\n"
@@ -120,6 +126,8 @@ int main(int argc, char** argv) {
     int sched = 0, unsched = 0;
     bool closedLoopFlagSeen = false, onOffKnobSeen = false;
     bool dagFlagSeen = false, traceSeen = false, patternSeen = false;
+    bool singleRackSeen = false;
+    std::string topoSpec;
     TrafficPatternKind explicitPattern = TrafficPatternKind::Uniform;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -141,6 +149,9 @@ int main(int argc, char** argv) {
             cfg.parallel.threads = std::stoi(next());
         } else if (arg == "--single-rack") {
             cfg.net = NetworkConfig::singleRack16();
+            singleRackSeen = true;
+        } else if (arg == "--topo") {
+            topoSpec = next();
         } else if (arg == "--pattern") {
             const std::string name = next();
             if (!patternFromName(name, cfg.traffic.scenario.kind)) {
@@ -340,12 +351,27 @@ int main(int argc, char** argv) {
             usage();
         }
     }
-    // Fault targets check against the *final* topology (--single-rack may
-    // come before or after --fault on the command line).
+    if (!topoSpec.empty()) {
+        if (singleRackSeen) {
+            std::fprintf(stderr,
+                         "--topo contradicts --single-rack: pick one way to "
+                         "name the topology\n");
+            usage();
+        }
+        std::string terr;
+        if (!parseTopoSpec(topoSpec, cfg.net, &terr)) {
+            std::fprintf(stderr, "--topo '%s': %s\n", topoSpec.c_str(),
+                         terr.c_str());
+            usage();
+        }
+    }
+    // Fault targets check against the *final* topology (--single-rack or
+    // --topo may come before or after --fault on the command line).
     for (const FaultSpec& fault : cfg.traffic.scenario.faults) {
-        if (const char* err = validateFaultSpec(fault, cfg.net)) {
+        const std::string err = validateFaultSpec(fault, cfg.net);
+        if (!err.empty()) {
             std::fprintf(stderr, "--fault '%s': %s\n",
-                         faultSpecToString(fault).c_str(), err);
+                         faultSpecToString(fault).c_str(), err.c_str());
             usage();
         }
     }
@@ -418,8 +444,7 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "%s on %s, %s, pattern %s, %s, window %.0f ms, seed %llu\n\n",
-        protocolName(cfg.proto.kind),
-        cfg.net.singleRack() ? "16-host rack" : "144-host fat-tree",
+        protocolName(cfg.proto.kind), topologySummary(cfg.net).c_str(),
         dist.name().c_str(), patternStr.c_str(),
         loadStr.c_str(), toSeconds(cfg.traffic.stop) * 1e3,
         static_cast<unsigned long long>(cfg.traffic.seed));
@@ -450,6 +475,17 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.torDown.maxBytes) / 1e3,
                 r.torUp.meanBytes / 1e3,
                 static_cast<double>(r.torUp.maxBytes) / 1e3);
+    if (r.coreSwitches > 0) {
+        std::printf(
+            "core tier queues (mean/max KB): aggr->core %.1f/%.0f, "
+            "core->aggr %.1f/%.0f\n",
+            r.aggrUp.meanBytes / 1e3,
+            static_cast<double>(r.aggrUp.maxBytes) / 1e3,
+            r.coreDown.meanBytes / 1e3,
+            static_cast<double>(r.coreDown.maxBytes) / 1e3);
+        std::printf("link busy fraction: TOR->aggr %.1f%%, aggr->core %.1f%%\n",
+                    100 * r.aggrLinkUtilization, 100 * r.coreLinkUtilization);
+    }
     std::printf("priority usage (%% of downlink): ");
     for (int p = 0; p < kPriorityLevels; p++) {
         std::printf("P%d=%.1f ", p, 100 * r.prioUsage[p]);

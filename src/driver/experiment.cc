@@ -1,6 +1,7 @@
 #include "driver/experiment.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -105,6 +106,8 @@ uint64_t sumDrops(Network& net, bool trims) {
     for (const auto* p : net.torDownlinkPorts()) add(p);
     for (const auto* p : net.torUplinkPorts()) add(p);
     for (const auto* p : net.aggrDownlinkPorts()) add(p);
+    for (const auto* p : net.aggrUplinkPorts()) add(p);
+    for (const auto* p : net.coreDownlinkPorts()) add(p);
     if (!trims) {
         // A dead switch's discarded arrivals and flushed queues as well.
         for (int r = 0; r < net.rackCount(); r++) {
@@ -113,8 +116,23 @@ uint64_t sumDrops(Network& net, bool trims) {
         for (int a = 0; a < net.aggrCount(); a++) {
             total += net.aggr(a).deadIngressDrops() + net.aggr(a).flushDrops();
         }
+        for (int c = 0; c < net.coreCount(); c++) {
+            total += net.core(c).deadIngressDrops() + net.core(c).flushDrops();
+        }
     }
     return total;
+}
+
+/// Mean busy fraction of a port group over the run (1.0 = always on wire).
+double meanBusyFraction(const std::vector<const EgressPort*>& ports,
+                        Time elapsed) {
+    if (ports.empty() || elapsed <= 0) return 0;
+    double busy = 0;
+    for (const auto* p : ports) {
+        busy += static_cast<double>(p->stats().busyTime);
+    }
+    return busy / (static_cast<double>(elapsed) *
+                   static_cast<double>(ports.size()));
 }
 
 /// Shards to request from the Network. Closed-loop and DAG scenarios have
@@ -136,6 +154,18 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     const SizeDistribution& dist = workload(cfg.traffic.workload);
 
     NetworkConfig netCfg = cfg.net;
+    if (!cfg.traffic.scenario.topoSpec.empty()) {
+        // Scenario-carried topology ("topo:..." modifier), applied over the
+        // configured base. The spec was validated at parse time; a failure
+        // here means the base config fought the spec — abort loudly rather
+        // than run the wrong topology.
+        std::string terr;
+        if (!parseTopoSpec(cfg.traffic.scenario.topoSpec, netCfg, &terr)) {
+            std::fprintf(stderr, "runExperiment: bad topo spec '%s': %s\n",
+                         cfg.traffic.scenario.topoSpec.c_str(), terr.c_str());
+            std::abort();
+        }
+    }
     if (!netCfg.switchQdisc) netCfg.switchQdisc = switchQdiscFor(cfg.proto);
     if (cfg.traffic.scenario.ecmpUplinks) {
         netCfg.uplinkPolicy = UplinkPolicy::Ecmp;
@@ -325,6 +355,15 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     result.torUp = summarizeQueues(net.torUplinkPorts(), elapsed);
     result.aggrDown = summarizeQueues(net.aggrDownlinkPorts(), elapsed);
     result.torDown = summarizeQueues(net.torDownlinkPorts(), elapsed);
+    if (netCfg.threeTier()) {
+        result.coreSwitches = netCfg.coreSwitches;
+        result.aggrUp = summarizeQueues(net.aggrUplinkPorts(), elapsed);
+        result.coreDown = summarizeQueues(net.coreDownlinkPorts(), elapsed);
+        result.aggrLinkUtilization =
+            meanBusyFraction(net.torUplinkPorts(), elapsed);
+        result.coreLinkUtilization =
+            meanBusyFraction(net.aggrUplinkPorts(), elapsed);
+    }
     result.switchDrops = sumDrops(net, false);
     result.switchTrims = sumDrops(net, true);
     if (faults) {

@@ -89,6 +89,16 @@ struct ExperimentResult {
     uint64_t switchDrops = 0;
     uint64_t switchTrims = 0;
 
+    // Three-tier topologies only (all zero when coreSwitches == 0, and
+    // excluded from resultFingerprint so two-tier fingerprints are
+    // unchanged). Utilizations are mean link busy fractions over the run;
+    // on an oversubscribed core, coreLinkUtilization > aggrLinkUtilization
+    // is the contention signature fig_oversub sweeps.
+    int coreSwitches = 0;                 // from the final net config
+    QueueOccupancy aggrUp, coreDown;      // aggr->core and core->aggr queues
+    double aggrLinkUtilization = 0;       // TOR->aggr links
+    double coreLinkUtilization = 0;       // aggr->core links
+
     /// Closed-loop scenarios only (null otherwise): per-source-host
     /// throughput and message-latency percentiles in the window.
     std::unique_ptr<ClosedLoopTracker> closedLoop;

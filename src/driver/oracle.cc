@@ -19,37 +19,72 @@ Duration Oracle::computeOneWay(uint32_t size, bool intraRack) const {
         left -= payload;
     }
 
-    // Hop bandwidths along the path.
-    std::vector<Bandwidth> hops = {cfg_.hostLink};
-    if (!cfg_.singleRack() && !intraRack) {
-        hops.push_back(cfg_.coreLink);
-        hops.push_back(cfg_.coreLink);
-    }
-    hops.push_back(cfg_.hostLink);
-
-    // done[i] = time packet i has fully left hop k (store-and-forward:
-    // hop k+1 starts after done[i] + switchDelay).
-    //
-    // On the single-rack cluster there is one path, so packets share every
-    // link FIFO. On the fat-tree, per-packet spraying lets packets travel
-    // independent core paths; the sender link imposes the only ordering
-    // (its FIFO spacing is >= every downstream serialization time, so
-    // shared final-hop contention cannot delay the completion-determining
-    // packet). The event simulator confirms both models exactly.
     std::vector<Duration> done(packets, 0);
-    Duration linkFree = 0;
-    for (int i = 0; i < packets; i++) {
-        done[i] = linkFree + hops[0].serialize(wire[i]);
-        linkFree = done[i];
-    }
-    const bool sharedPath = cfg_.singleRack() || intraRack;
-    for (size_t k = 1; k < hops.size(); k++) {
-        linkFree = 0;
+
+    if (cfg_.threeTier() && !intraRack) {
+        // Worst-case placement on a three-tier tree: cross-pod, 6 links /
+        // 5 switches, with the aggr<->core hops at the oversubscribed
+        // bandwidth. Spraying spreads consecutive packets across parallel
+        // links at every interior hop; the best case is a round-robin
+        // assignment, modeled by one FIFO clock per parallel link. With
+        // oversubscription > 1 an aggr<->core link can serialize slower
+        // than the sender link, so (unlike the two-tier tree) interior
+        // queueing can genuinely bound completion.
+        const int fan = cfg_.aggrSwitches;          // TOR -> pod aggrs
+        const int coreFan = fan * cfg_.coreSwitches;  // aggr -> core links
+        const Bandwidth up = cfg_.aggrCoreLink();
+        const std::vector<Bandwidth> hops = {cfg_.hostLink, cfg_.coreLink,
+                                             up,            up,
+                                             cfg_.coreLink, cfg_.hostLink};
+        const std::vector<int> mult = {1, fan, coreFan, coreFan, fan, 1};
+        Duration senderFree = 0;
         for (int i = 0; i < packets; i++) {
-            Duration start = done[i] + cfg_.switchDelay;
-            if (sharedPath) start = std::max(start, linkFree);
-            done[i] = start + hops[k].serialize(wire[i]);
+            done[i] = senderFree + hops[0].serialize(wire[i]);
+            senderFree = done[i];
+        }
+        for (size_t k = 1; k < hops.size(); k++) {
+            std::vector<Duration> linkFree(mult[k], 0);
+            for (int i = 0; i < packets; i++) {
+                Duration& free = linkFree[i % mult[k]];
+                const Duration start =
+                    std::max(done[i] + cfg_.switchDelay, free);
+                done[i] = start + hops[k].serialize(wire[i]);
+                free = done[i];
+            }
+        }
+    } else {
+        // Hop bandwidths along the path.
+        std::vector<Bandwidth> hops = {cfg_.hostLink};
+        if (!cfg_.singleRack() && !intraRack) {
+            hops.push_back(cfg_.coreLink);
+            hops.push_back(cfg_.coreLink);
+        }
+        hops.push_back(cfg_.hostLink);
+
+        // done[i] = time packet i has fully left hop k (store-and-forward:
+        // hop k+1 starts after done[i] + switchDelay).
+        //
+        // On the single-rack cluster there is one path, so packets share
+        // every link FIFO. On the fat-tree, per-packet spraying lets
+        // packets travel independent core paths; the sender link imposes
+        // the only ordering (its FIFO spacing is >= every downstream
+        // serialization time, so shared final-hop contention cannot delay
+        // the completion-determining packet). The event simulator confirms
+        // both models exactly.
+        Duration linkFree = 0;
+        for (int i = 0; i < packets; i++) {
+            done[i] = linkFree + hops[0].serialize(wire[i]);
             linkFree = done[i];
+        }
+        const bool sharedPath = cfg_.singleRack() || intraRack;
+        for (size_t k = 1; k < hops.size(); k++) {
+            linkFree = 0;
+            for (int i = 0; i < packets; i++) {
+                Duration start = done[i] + cfg_.switchDelay;
+                if (sharedPath) start = std::max(start, linkFree);
+                done[i] = start + hops[k].serialize(wire[i]);
+                linkFree = done[i];
+            }
         }
     }
     Duration completion = 0;

@@ -11,7 +11,8 @@
 namespace homa {
 
 /// Computes the minimum time to move a message between two hosts on an
-/// idle network (worst-case placement: cross-rack on the fat-tree), by
+/// idle network (worst-case placement: cross-rack on the fat-tree,
+/// cross-pod — through the oversubscribed core — on a three-tier one), by
 /// exact simulation of the store-and-forward pipeline: packets serialize
 /// back-to-back on the sender link, each later hop forwards a packet after
 /// the switch delay, and the receiver's software delay is paid once at the

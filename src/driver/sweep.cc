@@ -184,6 +184,17 @@ std::string resultFingerprint(const ExperimentResult& r) {
     appendInt(s, "aggrDownMax", static_cast<uint64_t>(r.aggrDown.maxBytes));
     appendNum(s, "torDownMean", r.torDown.meanBytes);
     appendInt(s, "torDownMax", static_cast<uint64_t>(r.torDown.maxBytes));
+    if (r.coreSwitches > 0) {
+        // Three-tier block only: two-tier fingerprints stay byte-identical
+        // to the pre-core-layer format (the regression goldens rely on it).
+        appendInt(s, "coreSwitches", static_cast<uint64_t>(r.coreSwitches));
+        appendNum(s, "aggrUpMean", r.aggrUp.meanBytes);
+        appendInt(s, "aggrUpMax", static_cast<uint64_t>(r.aggrUp.maxBytes));
+        appendNum(s, "coreDownMean", r.coreDown.meanBytes);
+        appendInt(s, "coreDownMax", static_cast<uint64_t>(r.coreDown.maxBytes));
+        appendNum(s, "aggrLinkUtil", r.aggrLinkUtilization);
+        appendNum(s, "coreLinkUtil", r.coreLinkUtilization);
+    }
     for (int p = 0; p < kPriorityLevels; p++) {
         appendNum(s, "prio", r.prioUsage[p]);
     }

@@ -25,6 +25,7 @@ const char* faultTargetKindName(FaultTargetKind k) {
         case FaultTargetKind::Host: return "host";
         case FaultTargetKind::Tor: return "tor";
         case FaultTargetKind::Aggr: return "aggr";
+        case FaultTargetKind::Core: return "core";
     }
     return "?";
 }
@@ -37,6 +38,9 @@ bool parseTarget(const std::string& v, FaultSpec& out, std::string* err) {
     if (v.rfind("aggr", 0) == 0) {
         kind = FaultTargetKind::Aggr;
         prefix = 4;
+    } else if (v.rfind("core", 0) == 0) {
+        kind = FaultTargetKind::Core;
+        prefix = 4;
     } else if (v.rfind("tor", 0) == 0) {
         kind = FaultTargetKind::Tor;
         prefix = 3;
@@ -46,7 +50,7 @@ bool parseTarget(const std::string& v, FaultSpec& out, std::string* err) {
     } else {
         if (err) {
             *err = "bad fault target '" + v +
-                   "' (expected aggr<k>, tor<r>, or host<h>)";
+                   "' (expected aggr<k>, core<c>, tor<r>, or host<h>)";
         }
         return false;
     }
@@ -56,7 +60,7 @@ bool parseTarget(const std::string& v, FaultSpec& out, std::string* err) {
     if (idx.empty() || *end != '\0' || n < 0) {
         if (err) {
             *err = "bad fault target index in '" + v +
-                   "' (expected aggr<k>, tor<r>, or host<h>)";
+                   "' (expected aggr<k>, core<c>, tor<r>, or host<h>)";
         }
         return false;
     }
@@ -232,30 +236,49 @@ bool parseFaultSpec(const std::string& body, FaultSpec& out,
     return true;
 }
 
-const char* validateFaultSpec(const FaultSpec& spec,
+std::string validateFaultSpec(const FaultSpec& spec,
                               const NetworkConfig& cfg) {
+    // "<tier> fault target index <i> out of range: ... (valid: tier0..tierN-1)"
+    auto outOfRange = [&spec](const char* tier, const char* what, int n) {
+        return std::string(tier) + " fault target index " +
+               std::to_string(spec.targetIndex) +
+               " out of range: this topology has " + std::to_string(n) + " " +
+               what + " (valid: " + tier + "0.." + tier +
+               std::to_string(n - 1) + ")";
+    };
     switch (spec.targetKind) {
         case FaultTargetKind::Aggr:
             if (cfg.singleRack()) {
                 return "aggr fault targets need a multi-rack fat-tree "
                        "topology (no aggregation switches here)";
             }
-            if (spec.targetIndex >= cfg.aggrSwitches) {
-                return "aggr fault target index out of range";
+            if (spec.targetIndex >= cfg.totalAggrs()) {
+                return outOfRange("aggr", "aggregation switches",
+                                  cfg.totalAggrs());
+            }
+            break;
+        case FaultTargetKind::Core:
+            if (!cfg.threeTier()) {
+                return "core fault targets need a three-tier topology "
+                       "(no core switches here; set core=<n> in the topo "
+                       "spec)";
+            }
+            if (spec.targetIndex >= cfg.coreSwitches) {
+                return outOfRange("core", "core switches", cfg.coreSwitches);
             }
             break;
         case FaultTargetKind::Tor:
             if (spec.targetIndex >= cfg.racks) {
-                return "tor fault target index out of range";
+                return outOfRange("tor", "racks", cfg.racks);
             }
             break;
         case FaultTargetKind::Host:
             if (spec.targetIndex >= cfg.hostCount()) {
-                return "host fault target index out of range";
+                return outOfRange("host", "hosts", cfg.hostCount());
             }
             break;
     }
-    return nullptr;
+    return "";
 }
 
 std::string faultSpecToString(const FaultSpec& spec) {
@@ -310,15 +333,24 @@ Switch* FaultTimeline::switchOfTarget(const FaultSpec& spec) {
     switch (spec.targetKind) {
         case FaultTargetKind::Tor: return &net_.tor(spec.targetIndex);
         case FaultTargetKind::Aggr: return &net_.aggr(spec.targetIndex);
+        case FaultTargetKind::Core: return &net_.core(spec.targetIndex);
         case FaultTargetKind::Host: return nullptr;  // hosts are not switches
     }
     return nullptr;
 }
 
 // Every directed link of the target, both directions, in canonical order.
+// Pod arithmetic: an aggr g serves pod g / aggrSwitches; its downlink to
+// rack r is port (r - podStart), and the TOR uplink feeding it is port
+// perRack + (g % aggrSwitches). On two-tier topologies the single implicit
+// pod spans every rack, making all of this identical to the pre-core code.
 template <typename Fn>
 void FaultTimeline::forEachTargetPort(const FaultSpec& spec, Fn&& fn) {
-    const int perRack = net_.config().hostsPerRack;
+    const NetworkConfig& cfg = net_.config();
+    const int perRack = cfg.hostsPerRack;
+    const int aggrPerPod = cfg.aggrSwitches;
+    const int podRacks = cfg.podRacks();
+    const int nCore = net_.coreCount();
     switch (spec.targetKind) {
         case FaultTargetKind::Host: {
             const HostId h = spec.targetIndex;
@@ -335,16 +367,32 @@ void FaultTimeline::forEachTargetPort(const FaultSpec& spec, Fn&& fn) {
             for (int i = 0; i < perRack; i++) {
                 fn(net_.host(r * perRack + i).nic());
             }
-            for (int a = 0; a < net_.aggrCount(); a++) {
-                fn(net_.aggr(a).port(r));
+            const int podBase = cfg.podOfRack(r) * aggrPerPod;
+            const int down = r - cfg.podOfRack(r) * podRacks;
+            for (int a = 0; a < aggrPerPod; a++) {
+                fn(net_.aggr(podBase + a).port(down));
             }
             break;
         }
         case FaultTargetKind::Aggr: {
-            const int a = spec.targetIndex;
-            for (int r = 0; r < net_.rackCount(); r++) {
-                fn(net_.tor(r).port(perRack + a));
-                fn(net_.aggr(a).port(r));
+            const int g = spec.targetIndex;
+            const int pod = g / aggrPerPod;
+            const int localA = g % aggrPerPod;
+            for (int r = 0; r < podRacks; r++) {
+                fn(net_.tor(pod * podRacks + r).port(perRack + localA));
+                fn(net_.aggr(g).port(r));
+            }
+            for (int c = 0; c < nCore; c++) {
+                fn(net_.aggr(g).port(podRacks + c));
+                fn(net_.core(c).port(g));
+            }
+            break;
+        }
+        case FaultTargetKind::Core: {
+            const int c = spec.targetIndex;
+            for (int g = 0; g < net_.aggrCount(); g++) {
+                fn(net_.aggr(g).port(podRacks + c));
+                fn(net_.core(c).port(g));
             }
             break;
         }
@@ -357,7 +405,11 @@ void FaultTimeline::forEachTargetPort(const FaultSpec& spec, Fn&& fn) {
 // handled by Switch::kill() (or, for hosts, included here).
 template <typename Fn>
 void FaultTimeline::forEachIngressPort(const FaultSpec& spec, Fn&& fn) {
-    const int perRack = net_.config().hostsPerRack;
+    const NetworkConfig& cfg = net_.config();
+    const int perRack = cfg.hostsPerRack;
+    const int aggrPerPod = cfg.aggrSwitches;
+    const int podRacks = cfg.podRacks();
+    const int nCore = net_.coreCount();
     switch (spec.targetKind) {
         case FaultTargetKind::Host: {
             const HostId h = spec.targetIndex;
@@ -370,15 +422,29 @@ void FaultTimeline::forEachIngressPort(const FaultSpec& spec, Fn&& fn) {
             for (int i = 0; i < perRack; i++) {
                 fn(net_.host(r * perRack + i).nic());
             }
-            for (int a = 0; a < net_.aggrCount(); a++) {
-                fn(net_.aggr(a).port(r));
+            const int podBase = cfg.podOfRack(r) * aggrPerPod;
+            const int down = r - cfg.podOfRack(r) * podRacks;
+            for (int a = 0; a < aggrPerPod; a++) {
+                fn(net_.aggr(podBase + a).port(down));
             }
             break;
         }
         case FaultTargetKind::Aggr: {
-            const int a = spec.targetIndex;
-            for (int r = 0; r < net_.rackCount(); r++) {
-                fn(net_.tor(r).port(perRack + a));
+            const int g = spec.targetIndex;
+            const int pod = g / aggrPerPod;
+            const int localA = g % aggrPerPod;
+            for (int r = 0; r < podRacks; r++) {
+                fn(net_.tor(pod * podRacks + r).port(perRack + localA));
+            }
+            for (int c = 0; c < nCore; c++) {
+                fn(net_.core(c).port(g));
+            }
+            break;
+        }
+        case FaultTargetKind::Core: {
+            const int c = spec.targetIndex;
+            for (int g = 0; g < net_.aggrCount(); g++) {
+                fn(net_.aggr(g).port(podRacks + c));
             }
             break;
         }
@@ -437,9 +503,10 @@ void FaultTimeline::schedule() {
     scheduled_ = true;
     for (size_t i = 0; i < specs_.size(); i++) {
         const FaultSpec& spec = specs_[i];
-        if (const char* verr = validateFaultSpec(spec, net_.config())) {
+        const std::string verr = validateFaultSpec(spec, net_.config());
+        if (!verr.empty()) {
             std::fprintf(stderr, "FaultTimeline: invalid spec '%s': %s\n",
-                         faultSpecToString(spec).c_str(), verr);
+                         faultSpecToString(spec).c_str(), verr.c_str());
             std::abort();
         }
         switch (spec.kind) {
@@ -490,6 +557,7 @@ FaultStats FaultTimeline::collect() const {
     };
     for (int r = 0; r < net_.rackCount(); r++) addSwitch(net_.tor(r));
     for (int a = 0; a < net_.aggrCount(); a++) addSwitch(net_.aggr(a));
+    for (int c = 0; c < net_.coreCount(); c++) addSwitch(net_.core(c));
     return out;
 }
 

@@ -47,7 +47,9 @@ enum class FaultKind {
 enum class FaultTargetKind {
     Host,  // the host's NIC and its TOR downlink
     Tor,   // every link touching the TOR (downlinks, uplinks, NICs, aggrs)
-    Aggr,  // every TOR<->aggr link of one aggregation switch
+    Aggr,  // every TOR<->aggr (and, three-tier, aggr<->core) link of one
+           // aggregation switch, addressed by global index across pods
+    Core,  // every aggr<->core link of one core switch (three-tier only)
 };
 
 const char* faultKindName(FaultKind k);
@@ -82,9 +84,11 @@ bool parseFaultSpec(const std::string& body, FaultSpec& out,
                     std::string* err = nullptr);
 
 /// Validates a parsed spec against a topology (index ranges; aggr targets
-/// need a multi-rack fat tree). Returns nullptr if valid, else a static
-/// reason string.
-const char* validateFaultSpec(const FaultSpec& spec, const NetworkConfig& cfg);
+/// need a multi-rack fat tree; core targets need a three-tier one).
+/// Returns "" if valid, else a reason naming the valid target range for
+/// the tier (e.g. "... this topology has 4 aggregation switches (valid:
+/// aggr0..aggr3)").
+std::string validateFaultSpec(const FaultSpec& spec, const NetworkConfig& cfg);
 
 /// Canonical round-trip of a spec back to its "fault:..." body.
 std::string faultSpecToString(const FaultSpec& spec);

@@ -10,13 +10,29 @@ std::unique_ptr<Qdisc> Network::makeQdisc() const {
     return std::make_unique<StrictPriorityQdisc>();
 }
 
+void Network::wireCrossShard(EgressPort& out, int srcShard, Switch* peer,
+                             int dstShard) {
+    if (srcShard == dstShard) return;
+    auto* box = &xshard_[srcShard][dstShard];
+    out.setRemoteDeliver([box, peer](Time at, Packet&& p) {
+        box->push_back(RemoteEvent{at, peer, std::move(p)});
+    });
+}
+
 Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
                  int shards)
     : cfg_(cfg), timings_(NetworkTimings::compute(cfg)), rng_(cfg.seed) {
+    assert(validateTopoConfig(cfg_).empty());
     const int nHosts = cfg_.hostCount();
     const int perRack = cfg_.hostsPerRack;
     const bool multiRack = !cfg_.singleRack();
-    const int nAggr = multiRack ? cfg_.aggrSwitches : 0;
+    const int nAggr = cfg_.totalAggrs();
+    // Uplinks per TOR == aggrs per pod (== all aggrs on two-tier trees,
+    // where the single implicit pod spans every rack).
+    const int aggrPerPod = multiRack ? cfg_.aggrSwitches : 0;
+    const int nCore = cfg_.threeTier() ? cfg_.coreSwitches : 0;
+    const int podRacks = cfg_.podRacks();
+    const bool ecmp = cfg_.uplinkPolicy == UplinkPolicy::Ecmp;
 
     // The parallel engine's lookahead is the switch delay, so a zero delay
     // (like a single rack, where every path is host->TOR->host within one
@@ -32,7 +48,9 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
 
     // Hosts first (switch downlinks need them as sinks). Construction stays
     // fully serial and in a fixed order, so the RNG fork sequence — and
-    // thus every derived stream — is identical at any shard count.
+    // thus every derived stream — is identical at any shard count. Core
+    // switches fork after the TORs, so every coreSwitches == 0 stream is
+    // byte-identical to the pre-core-layer wiring.
     hosts_.reserve(nHosts);
     for (HostId h = 0; h < nHosts; h++) {
         hosts_.push_back(std::make_unique<Host>(*loops_[shardOfHost(h)], h,
@@ -40,27 +58,30 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
                                                 cfg_.softwareDelay, rng_.fork()));
     }
 
-    // Aggregation switches, dealt round-robin across shards.
+    // Aggregation switches, dealt round-robin across shards. Global index
+    // g covers pod g / aggrPerPod.
     for (int a = 0; a < nAggr; a++) {
         aggrs_.push_back(std::make_unique<Switch>(
             *loops_[a % nShards], "aggr" + std::to_string(a), cfg_.switchDelay,
             rng_.fork()));
     }
 
-    // TORs: ports [0, perRack) are host downlinks, [perRack, perRack+nAggr)
-    // are uplinks. A TOR lives on its rack's shard.
+    // TORs: ports [0, perRack) are host downlinks, [perRack,
+    // perRack+aggrPerPod) are uplinks to the rack's pod aggrs. A TOR lives
+    // on its rack's shard.
     for (int r = 0; r < cfg_.racks; r++) {
         auto tor = std::make_unique<Switch>(*loops_[shardOfRack(r)],
                                             "tor" + std::to_string(r),
                                             cfg_.switchDelay, rng_.fork());
+        const int podBase = cfg_.podOfRack(r) * aggrPerPod;
         for (int i = 0; i < perRack; i++) {
             tor->addPort(cfg_.hostLink, makeQdisc(), hosts_[r * perRack + i].get());
         }
-        for (int a = 0; a < nAggr; a++) {
-            tor->addPort(cfg_.coreLink, makeQdisc(), aggrs_[a].get());
+        for (int a = 0; a < aggrPerPod; a++) {
+            tor->addPort(cfg_.coreLink, makeQdisc(), aggrs_[podBase + a].get());
         }
         const int rack = r;
-        if (cfg_.uplinkPolicy == UplinkPolicy::Ecmp) {
+        if (ecmp) {
             // Deterministic per-message multi-path hash over the *alive*
             // uplinks: a dead aggr's traffic reroutes instead of
             // blackholing. Liveness is the TOR's own uplink port state —
@@ -69,24 +90,24 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
             // a pure function of (packet, fault schedule, time) and
             // serial == parallel holds.
             Switch* torPtr = tor.get();
-            tor->setRoute([this, torPtr, rack, perRack, nAggr](const Packet& p,
-                                                               Rng&) {
+            tor->setRoute([this, torPtr, rack, perRack, aggrPerPod](
+                              const Packet& p, Rng&) {
                 assert(p.dst >= 0 && p.dst < cfg_.hostCount());
                 if (p.dst / perRack == rack) return p.dst % perRack;
                 uint64_t h = mix64((static_cast<uint64_t>(p.src) << 32) ^
                                    static_cast<uint64_t>(static_cast<uint32_t>(p.dst)));
                 h = mix64(h ^ static_cast<uint64_t>(p.msg));
                 int alive = 0;
-                for (int a = 0; a < nAggr; a++) {
+                for (int a = 0; a < aggrPerPod; a++) {
                     if (torPtr->port(perRack + a).linkUp()) alive++;
                 }
                 if (alive == 0) {
                     // Every uplink dead: nowhere to reroute; pick by hash
                     // (the packet dies on the downed port like spray would).
-                    return perRack + static_cast<int>(h % static_cast<uint64_t>(nAggr));
+                    return perRack + static_cast<int>(h % static_cast<uint64_t>(aggrPerPod));
                 }
                 int pick = static_cast<int>(h % static_cast<uint64_t>(alive));
-                for (int a = 0; a < nAggr; a++) {
+                for (int a = 0; a < aggrPerPod; a++) {
                     if (!torPtr->port(perRack + a).linkUp()) continue;
                     if (pick-- == 0) return perRack + a;
                 }
@@ -94,24 +115,126 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
                 return perRack;
             });
         } else {
-            tor->setRoute([this, rack, perRack, nAggr](const Packet& p, Rng& rng) {
+            tor->setRoute([this, rack, perRack, aggrPerPod](const Packet& p,
+                                                            Rng& rng) {
                 assert(p.dst >= 0 && p.dst < cfg_.hostCount());
                 if (p.dst / perRack == rack) return p.dst % perRack;
                 // Per-packet spraying across the uplinks (§2.2).
-                return perRack + static_cast<int>(rng.below(nAggr));
+                return perRack + static_cast<int>(rng.below(aggrPerPod));
             });
         }
         tors_.push_back(std::move(tor));
     }
 
-    // Aggr ports: one per rack, feeding that rack's TOR.
-    for (int a = 0; a < nAggr; a++) {
-        for (int r = 0; r < cfg_.racks; r++) {
-            aggrs_[a]->addPort(cfg_.coreLink, makeQdisc(), tors_[r].get());
+    // Core switches above the pods, dealt round-robin across shards like
+    // the aggrs. Forked last so two-tier RNG streams are untouched.
+    for (int c = 0; c < nCore; c++) {
+        cores_.push_back(std::make_unique<Switch>(
+            *loops_[c % nShards], "core" + std::to_string(c), cfg_.switchDelay,
+            rng_.fork()));
+    }
+
+    // Aggr ports: [0, podRacks) feed the pod's TORs; [podRacks,
+    // podRacks+nCore) are uplinks to the cores at the oversubscribed
+    // bandwidth. In-pod packets route straight down with no RNG draw, so
+    // the coreSwitches == 0 tree (one pod, zero uplinks) routes
+    // byte-identically to the pre-core-layer code.
+    for (int g = 0; g < nAggr; g++) {
+        const int podStart = (g / std::max(aggrPerPod, 1)) * podRacks;
+        for (int r = 0; r < podRacks; r++) {
+            aggrs_[g]->addPort(cfg_.coreLink, makeQdisc(),
+                               tors_[podStart + r].get());
         }
-        aggrs_[a]->setRoute([perRack](const Packet& p, Rng&) {
-            return p.dst / perRack;
-        });
+        for (int c = 0; c < nCore; c++) {
+            aggrs_[g]->addPort(cfg_.aggrCoreLink(), makeQdisc(),
+                               cores_[c].get());
+        }
+        if (ecmp && nCore > 0) {
+            // Same alive-uplink hash as the TORs, salted per switch so the
+            // TOR, aggr, and core stages of one message pick independently.
+            Switch* aggrPtr = aggrs_[g].get();
+            const uint64_t salt = kGoldenGamma * static_cast<uint64_t>(g + 1);
+            aggrs_[g]->setRoute([aggrPtr, perRack, podStart, podRacks, nCore,
+                                 salt](const Packet& p, Rng&) {
+                const int dstRack = p.dst / perRack;
+                if (dstRack >= podStart && dstRack < podStart + podRacks) {
+                    return dstRack - podStart;
+                }
+                uint64_t h = mix64((static_cast<uint64_t>(p.src) << 32) ^
+                                   static_cast<uint64_t>(static_cast<uint32_t>(p.dst)));
+                h = mix64(h ^ static_cast<uint64_t>(p.msg));
+                h = mix64(h ^ salt);
+                int alive = 0;
+                for (int c = 0; c < nCore; c++) {
+                    if (aggrPtr->port(podRacks + c).linkUp()) alive++;
+                }
+                if (alive == 0) {
+                    return podRacks + static_cast<int>(h % static_cast<uint64_t>(nCore));
+                }
+                int pick = static_cast<int>(h % static_cast<uint64_t>(alive));
+                for (int c = 0; c < nCore; c++) {
+                    if (!aggrPtr->port(podRacks + c).linkUp()) continue;
+                    if (pick-- == 0) return podRacks + c;
+                }
+                assert(false);
+                return podRacks;
+            });
+        } else {
+            aggrs_[g]->setRoute([perRack, podStart, podRacks, nCore](
+                                    const Packet& p, Rng& rng) {
+                const int dstRack = p.dst / perRack;
+                if (nCore == 0 ||
+                    (dstRack >= podStart && dstRack < podStart + podRacks)) {
+                    return dstRack - podStart;
+                }
+                // Cross-pod: spray across the core uplinks.
+                return podRacks + static_cast<int>(rng.below(nCore));
+            });
+        }
+    }
+
+    // Core ports: one per aggr, indexed by global aggr id. A core routes
+    // down into the destination pod, spreading across that pod's aggrs.
+    for (int c = 0; c < nCore; c++) {
+        for (int g = 0; g < nAggr; g++) {
+            cores_[c]->addPort(cfg_.aggrCoreLink(), makeQdisc(),
+                               aggrs_[g].get());
+        }
+        if (ecmp) {
+            Switch* corePtr = cores_[c].get();
+            const uint64_t salt =
+                kGoldenGamma * static_cast<uint64_t>(nAggr + c + 1);
+            cores_[c]->setRoute([this, corePtr, perRack, aggrPerPod, salt](
+                                    const Packet& p, Rng&) {
+                const int base =
+                    cfg_.podOfRack(p.dst / perRack) * aggrPerPod;
+                uint64_t h = mix64((static_cast<uint64_t>(p.src) << 32) ^
+                                   static_cast<uint64_t>(static_cast<uint32_t>(p.dst)));
+                h = mix64(h ^ static_cast<uint64_t>(p.msg));
+                h = mix64(h ^ salt);
+                int alive = 0;
+                for (int a = 0; a < aggrPerPod; a++) {
+                    if (corePtr->port(base + a).linkUp()) alive++;
+                }
+                if (alive == 0) {
+                    return base + static_cast<int>(h % static_cast<uint64_t>(aggrPerPod));
+                }
+                int pick = static_cast<int>(h % static_cast<uint64_t>(alive));
+                for (int a = 0; a < aggrPerPod; a++) {
+                    if (!corePtr->port(base + a).linkUp()) continue;
+                    if (pick-- == 0) return base + a;
+                }
+                assert(false);
+                return base;
+            });
+        } else {
+            cores_[c]->setRoute([this, perRack, aggrPerPod](const Packet& p,
+                                                            Rng& rng) {
+                const int base =
+                    cfg_.podOfRack(p.dst / perRack) * aggrPerPod;
+                return base + static_cast<int>(rng.below(aggrPerPod));
+            });
+        }
     }
 
     // Host NICs feed their TOR.
@@ -120,8 +243,10 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
     }
 
     // Canonical link ids, assigned in topology order: NICs take [0, hosts),
-    // then TOR ports rack-by-rack, then aggr ports. A pure function of the
-    // config, so transit tie-breaks agree across shard counts.
+    // then TOR ports rack-by-rack, then aggr ports, then core ports. A pure
+    // function of the config, so transit tie-breaks agree across shard
+    // counts (and the coreSwitches == 0 assignment matches the
+    // pre-core-layer ids exactly).
     int32_t nextLink = nHosts;
     for (HostId h = 0; h < nHosts; h++) hosts_[h]->nic().setLinkId(h);
     for (auto& tor : tors_) {
@@ -134,29 +259,37 @@ Network::Network(NetworkConfig cfg, const TransportFactory& makeTransport,
             aggr->port(static_cast<int>(i)).setLinkId(nextLink++);
         }
     }
+    for (auto& core : cores_) {
+        for (size_t i = 0; i < core->portCount(); i++) {
+            core->port(static_cast<int>(i)).setLinkId(nextLink++);
+        }
+    }
 
-    // Cross-shard links (always TOR<->aggr: host<->TOR is intra-shard by
-    // the rack partition) park completed packets in per-(src,dst) outboxes.
+    // Cross-shard links (TOR<->aggr and aggr<->core: host<->TOR is
+    // intra-shard by the rack partition) park completed packets in
+    // per-(src,dst) outboxes.
     if (nShards > 1) {
         xshard_.assign(nShards,
                        std::vector<std::vector<RemoteEvent>>(nShards));
         for (int r = 0; r < cfg_.racks; r++) {
             const int rs = shardOfRack(r);
-            for (int a = 0; a < nAggr; a++) {
-                const int as = a % nShards;
-                if (rs == as) continue;
-                auto* up = &xshard_[rs][as];
-                Switch* aggr = aggrs_[a].get();
-                tors_[r]->port(perRack + a).setRemoteDeliver(
-                    [up, aggr](Time at, Packet&& p) {
-                        up->push_back(RemoteEvent{at, aggr, std::move(p)});
-                    });
-                auto* down = &xshard_[as][rs];
-                Switch* tor = tors_[r].get();
-                aggrs_[a]->port(r).setRemoteDeliver(
-                    [down, tor](Time at, Packet&& p) {
-                        down->push_back(RemoteEvent{at, tor, std::move(p)});
-                    });
+            const int podBase = cfg_.podOfRack(r) * aggrPerPod;
+            for (int a = 0; a < aggrPerPod; a++) {
+                const int g = podBase + a;
+                const int as = g % nShards;
+                wireCrossShard(tors_[r]->port(perRack + a), rs,
+                               aggrs_[g].get(), as);
+                wireCrossShard(aggrs_[g]->port(r - cfg_.podOfRack(r) * podRacks),
+                               as, tors_[r].get(), rs);
+            }
+        }
+        for (int g = 0; g < nAggr; g++) {
+            const int as = g % nShards;
+            for (int c = 0; c < nCore; c++) {
+                const int cs = c % nShards;
+                wireCrossShard(aggrs_[g]->port(podRacks + c), as,
+                               cores_[c].get(), cs);
+                wireCrossShard(cores_[c]->port(g), cs, aggrs_[g].get(), as);
             }
         }
     }
@@ -213,9 +346,29 @@ std::vector<const EgressPort*> Network::torUplinkPorts() const {
 
 std::vector<const EgressPort*> Network::aggrDownlinkPorts() const {
     std::vector<const EgressPort*> out;
+    const int down = cfg_.podRacks();
     for (const auto& aggr : aggrs_) {
-        for (size_t i = 0; i < aggr->portCount(); i++) {
+        for (int i = 0; i < down; i++) out.push_back(&aggr->port(i));
+    }
+    return out;
+}
+
+std::vector<const EgressPort*> Network::aggrUplinkPorts() const {
+    std::vector<const EgressPort*> out;
+    const int down = cfg_.podRacks();
+    for (const auto& aggr : aggrs_) {
+        for (size_t i = down; i < aggr->portCount(); i++) {
             out.push_back(&aggr->port(static_cast<int>(i)));
+        }
+    }
+    return out;
+}
+
+std::vector<const EgressPort*> Network::coreDownlinkPorts() const {
+    std::vector<const EgressPort*> out;
+    for (const auto& core : cores_) {
+        for (size_t i = 0; i < core->portCount(); i++) {
+            out.push_back(&core->port(static_cast<int>(i)));
         }
     }
     return out;

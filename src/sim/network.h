@@ -2,18 +2,26 @@
 //
 // Fat-tree wiring (Figure 11): every host NIC feeds its rack's TOR; each
 // TOR has one egress port per rack host (downlinks) plus one per
-// aggregation switch (uplinks, packet-sprayed); each aggregation switch has
-// one port per rack. Zero propagation delay; store-and-forward everywhere.
+// aggregation switch in its pod (uplinks, packet-sprayed); each
+// aggregation switch has one port per rack of its pod. With
+// NetworkConfig::coreSwitches > 0 a third tier rises above: racks
+// partition into contiguous pods, each pod gets its own aggr set, every
+// aggr gains one uplink per core switch (bandwidth set by the
+// oversubscription knob, see NetworkConfig::aggrCoreLink()), and every
+// core switch has one port per aggr. Cross-pod packets climb
+// host->TOR->aggr->core->aggr->TOR->host; intra-pod traffic never touches
+// the core. Zero propagation delay; store-and-forward everywhere.
 //
 // Sharding (the parallel engine): with `shards` > 1 the racks — each rack
 // meaning its hosts, their NICs, and its TOR — are dealt round-robin across
-// that many EventLoops, and the aggregation switches likewise. Every
-// host↔TOR link is intra-shard by construction; only TOR↔aggr links can
-// cross shards. A cross-shard link's egress port deposits completed packets
-// into a per-(source shard, destination shard) outbox instead of delivering
-// them; the engine drains outboxes into the peer switches at lookahead
-// window barriers (see sim/parallel.h). With shards == 1 (the default) the
-// wiring, event order, and results are the classic serial ones.
+// that many EventLoops, and the aggregation and core switches likewise.
+// Every host↔TOR link is intra-shard by construction; TOR↔aggr and
+// aggr↔core links can cross shards. A cross-shard link's egress port
+// deposits completed packets into a per-(source shard, destination shard)
+// outbox instead of delivering them; the engine drains outboxes into the
+// peer switches at lookahead window barriers (see sim/parallel.h). With
+// shards == 1 (the default) the wiring, event order, and results are the
+// classic serial ones.
 #pragma once
 
 #include <memory>
@@ -77,16 +85,24 @@ public:
     /// here drive Table 1, Figure 16, and Figure 21.
     EgressPort& downlink(HostId h);
 
-    /// Ports grouped by network level, for Table 1.
+    /// Ports grouped by network level, for Table 1 and the fig_oversub
+    /// core-contention metrics. aggrDownlinkPorts() covers only the
+    /// aggr->TOR ports; the aggr->core ports are aggrUplinkPorts() (both
+    /// empty groups on topologies without that tier).
     std::vector<const EgressPort*> torUplinkPorts() const;
     std::vector<const EgressPort*> aggrDownlinkPorts() const;
     std::vector<const EgressPort*> torDownlinkPorts() const;
+    std::vector<const EgressPort*> aggrUplinkPorts() const;
+    std::vector<const EgressPort*> coreDownlinkPorts() const;
 
     Switch& tor(int rack) { return *tors_[rack]; }
     Switch& aggr(int a) { return *aggrs_[a]; }
+    Switch& core(int c) { return *cores_[c]; }
     int rackCount() const { return cfg_.racks; }
     int aggrCount() const { return static_cast<int>(aggrs_.size()); }
+    int coreCount() const { return static_cast<int>(cores_.size()); }
     int rackOf(HostId h) const { return h / cfg_.hostsPerRack; }
+    int podOf(HostId h) const { return cfg_.podOfRack(rackOf(h)); }
 
     /// Cross-shard packets parked in outboxes but not yet injected (0 in
     /// serial runs; used by the conservation accounting in test_fault).
@@ -100,6 +116,9 @@ private:
     };
 
     std::unique_ptr<Qdisc> makeQdisc() const;
+    /// Register the remote-deliver outbox seam on a cross-shard port pair.
+    void wireCrossShard(EgressPort& out, int srcShard, Switch* peer,
+                        int dstShard);
 
     NetworkConfig cfg_;
     NetworkTimings timings_;
@@ -108,6 +127,7 @@ private:
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Switch>> tors_;
     std::vector<std::unique_ptr<Switch>> aggrs_;
+    std::vector<std::unique_ptr<Switch>> cores_;
     // xshard_[s][d]: packets emitted by shard s for shard d in the current
     // window. Written only by shard s's thread, drained only by shard d's —
     // the window barriers on either side order the accesses.

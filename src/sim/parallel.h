@@ -1,10 +1,12 @@
 // Conservative parallel discrete-event engine.
 //
 // The network is partitioned by rack into shards (see sim/network.h), one
-// EventLoop and one worker thread per shard. All shards advance in
+// EventLoop and one worker thread per shard; aggregation and core switches
+// are dealt round-robin across the same shards. All shards advance in
 // lock-stepped lookahead windows of width L = the switch internal delay:
 //
-//   1. each shard runs its own events in [W, W+L) — cross-shard links park
+//   1. each shard runs its own events in [W, W+L) — cross-shard links
+//      (TOR<->aggr and, on three-tier topologies, aggr<->core) park
 //      completed packets in per-(src,dst)-shard outboxes;
 //   2. barrier; each shard drains the outboxes addressed to it, inserting
 //      the packets into their target switches' canonical transit queues

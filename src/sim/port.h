@@ -83,6 +83,9 @@ public:
     EgressPort(EventLoop& loop, Bandwidth bw, std::unique_ptr<Qdisc> qdisc);
 
     void connectTo(PacketSink* peer) { peer_ = peer; }
+    /// Downstream sink this port feeds (the topology tests walk these to
+    /// prove every link has a matching reverse link).
+    PacketSink* peer() const { return peer_; }
     void setSource(PacketSource* src) { source_ = src; }
 
     /// The switch this port belongs to (null for host NICs): its routeDue()

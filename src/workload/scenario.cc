@@ -83,6 +83,11 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                         "'<pattern>[+fault:...]' (e.g. "
                         "\"uniform+fault:flap=aggr0,at=5ms,for=1ms\")");
         }
+        if (head == "topo") {
+            return fail("a topo segment cannot come first: the spec is "
+                        "'<pattern>[+topo:...]' (e.g. "
+                        "\"uniform+topo:racks=8,aggr=2,core=2,oversub=4\")");
+        }
         if (head != "dag") {
             return fail("pattern '" + head + "' takes no ':' parameters "
                         "(only dag does)");
@@ -110,9 +115,23 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                 return fail("bad fault spec '" + seg.substr(6) + "': " + ferr);
             }
             parsed.faults.push_back(fs);
+        } else if (seg.rfind("topo:", 0) == 0) {
+            if (!parsed.topoSpec.empty()) {
+                return fail("at most one topo: segment per scenario");
+            }
+            const std::string body = seg.substr(5);
+            // Eager validation against the default base so a bad spec fails
+            // at parse time, not mid-experiment. The stored body re-applies
+            // over the experiment's actual base config in runExperiment.
+            NetworkConfig probe = NetworkConfig::fatTree144();
+            std::string terr;
+            if (!parseTopoSpec(body, probe, &terr)) {
+                return fail("bad topo spec '" + body + "': " + terr);
+            }
+            parsed.topoSpec = body;
         } else {
             return fail("unknown scenario modifier '" + seg +
-                        "' (expected on-off, ecmp, or fault:...)");
+                        "' (expected on-off, ecmp, topo:..., or fault:...)");
         }
     }
     out = parsed;

@@ -125,6 +125,12 @@ struct ScenarioConfig {
     // true = deterministic per-message ECMP hash over the *alive* uplinks
     // so a dead aggregation switch reroutes instead of blackholing.
     bool ecmpUplinks = false;
+
+    // Topology override ("topo:" modifier): a parseTopoSpec body applied
+    // over the experiment's base NetworkConfig by runExperiment, e.g.
+    // "racks=8,hosts=4,aggr=2,core=2,oversub=4". Empty = run the base
+    // topology untouched.
+    std::string topoSpec;
 };
 
 /// Parses a scenario spec: a pattern segment followed by '+'-separated
@@ -132,7 +138,8 @@ struct ScenarioConfig {
 /// at=50ms,for=10ms+fault:degrade=host3,drop=0.01". The pattern leaves
 /// all knobs at defaults — except `dag`, which takes parameters:
 /// "dag[:k=v,k=v...]" (keys per parseDagSpec). Modifiers: "on-off",
-/// "ecmp", and any number of "fault:<body>" segments (parseFaultSpec).
+/// "ecmp", "topo:<body>" (parseTopoSpec; at most one), and any number of
+/// "fault:<body>" segments (parseFaultSpec).
 /// Returns false and leaves `out` untouched on malformed specs, with a
 /// human-readable reason in *err (if given). This is the syntax the
 /// figure benches accept via HOMA_SCENARIO.

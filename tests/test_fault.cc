@@ -11,6 +11,7 @@
 // or double-counted) breaks the equality.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <tuple>
@@ -19,6 +20,7 @@
 #include "driver/experiment.h"
 #include "sim/fault.h"
 #include "sim/parallel.h"
+#include "sim/topology.h"
 #include "workload/generator.h"
 
 namespace homa {
@@ -124,16 +126,56 @@ TEST(FaultSpec, ValidatesTargetsAgainstTopology) {
     const NetworkConfig rack = NetworkConfig::singleRack16();
     FaultSpec f;
     ASSERT_TRUE(parseFaultSpec("flap=aggr3,at=1ms,for=1ms", f));
-    EXPECT_EQ(validateFaultSpec(f, fat), nullptr);
-    EXPECT_NE(validateFaultSpec(f, rack), nullptr);  // no aggr switches
+    EXPECT_EQ(validateFaultSpec(f, fat), "");
+    EXPECT_NE(validateFaultSpec(f, rack), "");  // no aggr switches
     ASSERT_TRUE(parseFaultSpec("flap=aggr4,at=1ms,for=1ms", f));
-    EXPECT_NE(validateFaultSpec(f, fat), nullptr);  // only 4 aggrs
+    EXPECT_NE(validateFaultSpec(f, fat), "");  // only 4 aggrs
     ASSERT_TRUE(parseFaultSpec("flap=tor9,at=1ms,for=1ms", f));
-    EXPECT_NE(validateFaultSpec(f, fat), nullptr);  // only 9 racks
+    EXPECT_NE(validateFaultSpec(f, fat), "");  // only 9 racks
     ASSERT_TRUE(parseFaultSpec("kill=host15,at=1ms", f));
-    EXPECT_EQ(validateFaultSpec(f, rack), nullptr);
+    EXPECT_EQ(validateFaultSpec(f, rack), "");
     ASSERT_TRUE(parseFaultSpec("kill=host16,at=1ms", f));
-    EXPECT_NE(validateFaultSpec(f, rack), nullptr);
+    EXPECT_NE(validateFaultSpec(f, rack), "");
+}
+
+TEST(FaultSpec, OutOfRangeErrorsNameTheValidRangePerTier) {
+    const NetworkConfig fat = NetworkConfig::fatTree144();
+    FaultSpec f;
+    ASSERT_TRUE(parseFaultSpec("flap=aggr4,at=1ms,for=1ms", f));
+    std::string err = validateFaultSpec(f, fat);
+    EXPECT_NE(err.find("4 aggregation switches"), std::string::npos) << err;
+    EXPECT_NE(err.find("aggr0..aggr3"), std::string::npos) << err;
+    ASSERT_TRUE(parseFaultSpec("flap=tor9,at=1ms,for=1ms", f));
+    err = validateFaultSpec(f, fat);
+    EXPECT_NE(err.find("9 racks"), std::string::npos) << err;
+    EXPECT_NE(err.find("tor0..tor8"), std::string::npos) << err;
+    ASSERT_TRUE(parseFaultSpec("kill=host144,at=1ms", f));
+    err = validateFaultSpec(f, fat);
+    EXPECT_NE(err.find("144 hosts"), std::string::npos) << err;
+    EXPECT_NE(err.find("host0..host143"), std::string::npos) << err;
+}
+
+TEST(FaultSpec, ValidatesCoreTargetsAgainstTheTopology) {
+    const NetworkConfig fat = NetworkConfig::fatTree144();
+    NetworkConfig tiered = NetworkConfig::fatTree144();
+    ASSERT_TRUE(parseTopoSpec("racks=8,aggr=2,core=2,oversub=4", tiered));
+    FaultSpec f;
+    ASSERT_TRUE(parseFaultSpec("kill=core1,at=1ms", f));
+    EXPECT_EQ(f.targetKind, FaultTargetKind::Core);
+    EXPECT_EQ(validateFaultSpec(f, tiered), "");
+    // No core layer on the paper's two-tier tree.
+    std::string err = validateFaultSpec(f, fat);
+    EXPECT_NE(err.find("three-tier"), std::string::npos) << err;
+    ASSERT_TRUE(parseFaultSpec("kill=core2,at=1ms", f));
+    err = validateFaultSpec(f, tiered);
+    EXPECT_NE(err.find("2 core switches"), std::string::npos) << err;
+    EXPECT_NE(err.find("core0..core1"), std::string::npos) << err;
+    // Aggr targets are global across pods: 2 per pod x 2 pods here.
+    ASSERT_TRUE(parseFaultSpec("flap=aggr3,at=1ms,for=1ms", f));
+    EXPECT_EQ(validateFaultSpec(f, tiered), "");
+    ASSERT_TRUE(parseFaultSpec("flap=aggr4,at=1ms,for=1ms", f));
+    err = validateFaultSpec(f, tiered);
+    EXPECT_NE(err.find("aggr0..aggr3"), std::string::npos) << err;
 }
 
 TEST(FaultSpec, ScenarioSpecCarriesFaultSegments) {
@@ -205,6 +247,7 @@ Ledger audit(Network& net, const FaultStats& faults) {
     };
     for (int r = 0; r < net.rackCount(); r++) auditSwitch(net.tor(r));
     for (int a = 0; a < net.aggrCount(); a++) auditSwitch(net.aggr(a));
+    for (int c = 0; c < net.coreCount(); c++) auditSwitch(net.core(c));
     l.inFlight += net.pendingRemotePackets();
     return l;
 }
@@ -218,11 +261,17 @@ constexpr Protocol kAllProtocols[] = {Protocol::Homa,  Protocol::Basic,
 // callers can assert on specific drop causes.
 FaultStats checkConservation(Protocol kind,
                              const std::vector<std::string>& faultBodies,
-                             bool ecmp = false) {
+                             bool ecmp = false,
+                             const std::string& topoSpec = "") {
     NetworkConfig netCfg = NetworkConfig::fatTree144();
     netCfg.racks = 3;
     netCfg.hostsPerRack = 4;
     netCfg.aggrSwitches = 2;
+    if (!topoSpec.empty()) {
+        std::string terr;
+        EXPECT_TRUE(parseTopoSpec(topoSpec, netCfg, &terr))
+            << topoSpec << ": " << terr;
+    }
     if (ecmp) netCfg.uplinkPolicy = UplinkPolicy::Ecmp;
 
     ProtocolConfig proto;
@@ -307,6 +356,37 @@ TEST(FaultConservation, FlapTrainAndTorDeathCompose) {
                    "kill=tor2,at=600us"});
         EXPECT_EQ(fs.linkDownEvents, 4u) << protocolName(kind);
         EXPECT_EQ(fs.switchKills, 1u) << protocolName(kind);
+    }
+}
+
+TEST(FaultConservation, ThreeTierLedgerBalances) {
+    // The same external accounting, now spanning the core tier: every
+    // packet parked in a core switch's transit queue or dropped at a
+    // dead core's ingress must show up in the ledger.
+    for (Protocol kind : kAllProtocols) {
+        const FaultStats fs = checkConservation(
+            kind, {}, /*ecmp=*/false, "racks=4,aggr=2,core=2,oversub=4");
+        EXPECT_EQ(fs.totalDrops(), 0u) << protocolName(kind);
+    }
+}
+
+TEST(FaultConservation, ThreeTierCoreFaultsBalance) {
+    const FaultStats fs = checkConservation(
+        Protocol::Homa,
+        {"kill=core0,at=300us", "flap=core1,at=200us,for=150us"},
+        /*ecmp=*/true, "racks=4,aggr=2,core=2,oversub=4");
+    EXPECT_EQ(fs.switchKills, 1u);
+    EXPECT_EQ(fs.linkDownEvents, 1u);
+    EXPECT_EQ(fs.linkUpEvents, 1u);
+}
+
+TEST(FaultConservation, ThreeTierDegradedCoreLinksBalance) {
+    for (Protocol kind : {Protocol::Homa, Protocol::PFabric}) {
+        const FaultStats fs = checkConservation(
+            kind, {"degrade=core0,at=0ns,drop=0.05"},
+            /*ecmp=*/false, "racks=4,aggr=2,core=2,oversub=2");
+        EXPECT_EQ(fs.degradeEvents, 1u) << protocolName(kind);
+        EXPECT_GT(fs.probDrops, 0u) << protocolName(kind);
     }
 }
 
@@ -547,6 +627,47 @@ TEST(FaultCli, RejectsTargetsOutsideTheTopology) {
     EXPECT_EQ(runCli("--fault flap=aggr0,at=1ms,for=1ms --single-rack"), 2);
     EXPECT_EQ(runCli("--single-rack --fault flap=aggr0,at=1ms,for=1ms"), 2);
     EXPECT_EQ(runCli("--ecmp --single-rack"), 2);  // no uplinks to hash over
+}
+
+// Captures the combined stdout+stderr of a CLI misuse run so the tests
+// can check that the error names the valid target range for the tier.
+std::string runCliOutput(const std::string& args) {
+    const std::string cmd =
+        std::string(HOMA_RUN_EXPERIMENT_BIN) + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr) return "";
+    std::string out;
+    char buf[512];
+    while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+    pclose(pipe);
+    return out;
+}
+
+TEST(FaultCli, TargetErrorsNameTheValidRangePerTier) {
+    std::string out = runCliOutput("--fault flap=aggr9,at=1ms,for=1ms");
+    EXPECT_NE(out.find("aggr0..aggr3"), std::string::npos) << out;
+    out = runCliOutput("--fault kill=tor9,at=1ms");
+    EXPECT_NE(out.find("tor0..tor8"), std::string::npos) << out;
+    out = runCliOutput("--fault kill=host144,at=1ms");
+    EXPECT_NE(out.find("host0..host143"), std::string::npos) << out;
+    // Core targets need a three-tier --topo; the default tree has none.
+    out = runCliOutput("--fault kill=core0,at=1ms");
+    EXPECT_NE(out.find("three-tier"), std::string::npos) << out;
+    out = runCliOutput(
+        "--topo racks=8,aggr=2,core=2 --fault kill=core5,at=1ms");
+    EXPECT_NE(out.find("core0..core1"), std::string::npos) << out;
+}
+
+TEST(FaultCli, ValidatesTopoSpecsAndCoreTargets) {
+    // A core target becomes valid once --topo grows a core layer.
+    EXPECT_EQ(runCli("--fault kill=core0,at=1ms"), 2);
+    EXPECT_EQ(runCli("--topo racks=8,aggr=2,core=2 --fault kill=core5,at=1ms"),
+              2);
+    EXPECT_EQ(runCli("--topo racks=9,hosts=0"), 2);      // bad shape
+    EXPECT_EQ(runCli("--topo racks=8,pods=3,core=2"), 2);  // pods must divide
+    EXPECT_EQ(runCli("--topo bogus=1"), 2);              // unknown key
+    EXPECT_EQ(runCli("--topo racks=4 --single-rack"), 2);  // contradiction
 }
 
 #endif  // HOMA_RUN_EXPERIMENT_BIN
