@@ -80,6 +80,11 @@ namespace {
         "  --ecmp                  deterministic per-message ECMP uplink\n"
         "                          hash over alive uplinks (default: the\n"
         "                          paper's per-packet spraying)\n"
+        "  --fluid BYTES           fluid fast path: simulate messages of\n"
+        "                          >= BYTES as flow-level fluid transfers\n"
+        "                          (0 = everything fluid; default: all\n"
+        "                          packet-level). Not combinable with\n"
+        "                          --fault; fluid runs are always serial\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
         "              --overcommit N, --no-incast-control,\n"
@@ -259,6 +264,16 @@ int main(int argc, char** argv) {
             cfg.traffic.scenario.faults.push_back(fault);
         } else if (arg == "--ecmp") {
             cfg.traffic.scenario.ecmpUplinks = true;
+        } else if (arg == "--fluid") {
+            const std::string val = next();
+            if (val.empty() ||
+                val.find_first_not_of("0123456789") != std::string::npos) {
+                std::fprintf(stderr,
+                             "--fluid: expected a non-negative byte "
+                             "threshold, got '%s'\n", val.c_str());
+                usage();
+            }
+            cfg.fluidThresholdBytes = std::stoll(val);
         } else if (arg == "--wire-priorities") {
             cfg.proto.homa.wirePriorities = std::stoi(next());
         } else if (arg == "--sched") {
@@ -375,6 +390,12 @@ int main(int argc, char** argv) {
             usage();
         }
     }
+    if (cfg.fluidThresholdBytes >= 0 && !cfg.traffic.scenario.faults.empty()) {
+        std::fprintf(stderr,
+                     "--fluid contradicts --fault: fluid flows bypass the "
+                     "switches faults act on — pick one\n");
+        usage();
+    }
     if (cfg.traffic.scenario.ecmpUplinks && cfg.net.singleRack()) {
         std::fprintf(stderr,
                      "--ecmp contradicts --single-rack: a single rack has "
@@ -430,6 +451,9 @@ int main(int argc, char** argv) {
     }
     std::string patternStr = patternName(cfg.traffic.scenario.kind);
     if (cfg.traffic.scenario.ecmpUplinks) patternStr += "+ecmp";
+    if (cfg.fluidThresholdBytes >= 0) {
+        patternStr += "+fluid:" + std::to_string(cfg.fluidThresholdBytes);
+    }
     for (const FaultSpec& fault : cfg.traffic.scenario.faults) {
         patternStr += "+fault:" + faultSpecToString(fault);
     }
@@ -491,6 +515,23 @@ int main(int argc, char** argv) {
         std::printf("P%d=%.1f ", p, 100 * r.prioUsage[p]);
     }
     std::printf("\n");
+    if (r.fluid) {
+        const FluidStats& fl = *r.fluid;
+        std::printf(
+            "fluid regime (>= %lld bytes): %llu flows (%llu delivered), "
+            "%.1f MB wire, peak %llu concurrent, %llu rate solves\n",
+            static_cast<long long>(fl.thresholdBytes),
+            static_cast<unsigned long long>(fl.flows),
+            static_cast<unsigned long long>(fl.delivered),
+            static_cast<double>(fl.wireBytes) / 1e6,
+            static_cast<unsigned long long>(fl.maxConcurrent),
+            static_cast<unsigned long long>(fl.solves));
+        if (fl.delivered > 0) {
+            std::printf(
+                "  fluid slowdown: p50 %.2f, p99 %.2f, mean %.2f\n",
+                fl.slowP50, fl.slowP99, fl.slowMean);
+        }
+    }
     if (r.faults) {
         const FaultStats& f = *r.faults;
         std::printf(

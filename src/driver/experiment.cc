@@ -135,16 +135,26 @@ double meanBusyFraction(const std::vector<const EgressPort*>& ports,
                    static_cast<double>(ports.size()));
 }
 
+/// Effective fluid threshold: the scenario's "fluid:" modifier wins over
+/// the config knob (mirroring the topo: override); -1 = no fluid path.
+int64_t effectiveFluidThreshold(const ExperimentConfig& cfg) {
+    return cfg.traffic.scenario.fluidThresholdBytes >= 0
+               ? cfg.traffic.scenario.fluidThresholdBytes
+               : cfg.fluidThresholdBytes;
+}
+
 /// Shards to request from the Network. Closed-loop and DAG scenarios have
 /// zero-lookahead feedback (a delivery on the destination's shard refills
-/// the source's window at the same instant), and the wasted-bandwidth
-/// probe samples every host from one event; those run serially whatever
-/// `threads` says. The Network further caps by rack count.
+/// the source's window at the same instant), the wasted-bandwidth
+/// probe samples every host from one event, and the fluid engine keeps
+/// its flow set and rate solver on shard 0's loop; those run serially
+/// whatever `threads` says. The Network further caps by rack count.
 int requestedShards(const ExperimentConfig& cfg) {
     const TrafficPatternKind kind = cfg.traffic.scenario.kind;
     const bool shardable = kind != TrafficPatternKind::ClosedLoop &&
                            kind != TrafficPatternKind::Dag &&
-                           !cfg.measureWastedBandwidth;
+                           !cfg.measureWastedBandwidth &&
+                           effectiveFluidThreshold(cfg) < 0;
     return shardable ? std::max(1, cfg.parallel.threads) : 1;
 }
 
@@ -171,10 +181,50 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         netCfg.uplinkPolicy = UplinkPolicy::Ecmp;
     }
 
+    const int64_t fluidThreshold = effectiveFluidThreshold(cfg);
+    if (fluidThreshold >= 0 && !cfg.traffic.scenario.faults.empty()) {
+        // Fluid flows bypass the switches faults act on; a hybrid fault
+        // run would silently break conservation. The spec parser rejects
+        // the combination too — reaching here means API-level misuse.
+        std::fprintf(stderr,
+                     "runExperiment: fluidThresholdBytes does not compose "
+                     "with fault injection\n");
+        std::abort();
+    }
+
     Network net(netCfg, makeTransportFactory(cfg.proto, netCfg, &dist),
                 requestedShards(cfg));
     Oracle oracle(netCfg);
     const int n = net.hostCount();
+
+    // Fluid fast path: long messages become max-min-fair fluid flows on
+    // shard 0's loop (fluid runs are always serial, see requestedShards);
+    // the capacity reservation hands the packet regime its expected byte
+    // share (open-loop Poisson only — closed-loop/dag/trace loads are
+    // endogenous, and their fluid capacity stays unscaled).
+    std::unique_ptr<FluidEngine> fluidEngine;
+    if (fluidThreshold >= 0) {
+        const TrafficPatternKind kind = cfg.traffic.scenario.kind;
+        const bool openLoop = kind != TrafficPatternKind::ClosedLoop &&
+                              kind != TrafficPatternKind::Dag &&
+                              kind != TrafficPatternKind::TraceReplay;
+        FluidConfig fc;
+        fc.thresholdBytes = fluidThreshold;
+        if (openLoop && fluidThreshold > 0) {
+            fc.reservedFraction =
+                cfg.traffic.load *
+                dist.byteWeightedCdf(static_cast<double>(fluidThreshold));
+        }
+        fc.bestOneWay = [&oracle](uint32_t size, bool intraRack) {
+            return oracle.bestOneWay(size, intraRack);
+        };
+        fluidEngine =
+            std::make_unique<FluidEngine>(net.loop(), netCfg, std::move(fc));
+        net.setMessageInterceptor(
+            [eng = fluidEngine.get()](const Message& m) {
+                return eng->offer(m);
+            });
+    }
 
     // Fault timeline first, right after construction: setup-scheduled
     // events sort before any runtime event at the same instant on their
@@ -244,7 +294,12 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         });
     }
 
-    net.setDeliveryCallback([&](const Message& m, const DeliveryInfo& info) {
+    // One delivery path for both regimes: packet transports invoke this via
+    // Network::setDeliveryCallback, the fluid engine invokes the same
+    // callable directly — so slowdowns, ledgers, closed-loop windows, and
+    // keptUp see fluid deliveries exactly like packet ones.
+    Transport::DeliveryCallback onDelivery =
+        [&](const Message& m, const DeliveryInfo& info) {
         deliveredTotal[m.dst]++;
         deliveredBytesAll[m.dst] += m.length;
         // Closed loop: every delivery frees a window slot, warm-up and
@@ -264,7 +319,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
             m.length, info.completed - m.created,
             oracles[m.dst].bestOneWay(m.length, intraRack), info.queueingDelay,
             info.preemptionLag);
-    });
+    };
+    net.setDeliveryCallback(onDelivery);
+    if (fluidEngine) fluidEngine->setDeliveryCallback(onDelivery);
 
     WastedBandwidthProbe probe(net);
     if (cfg.measureWastedBandwidth) probe.start(windowStart, genStop);
@@ -368,6 +425,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     result.switchTrims = sumDrops(net, true);
     if (faults) {
         result.faults = std::make_unique<FaultStats>(faults->collect());
+    }
+    if (fluidEngine) {
+        result.fluid = std::make_unique<FluidStats>(fluidEngine->stats());
     }
 
     // Kept up = the backlog of undelivered bytes did not grow over the

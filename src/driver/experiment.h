@@ -14,6 +14,7 @@
 #include "core/homa_transport.h"
 #include "driver/oracle.h"
 #include "sim/fault.h"
+#include "sim/fluid.h"
 #include "sim/parallel.h"
 #include "stats/closed_loop.h"
 #include "stats/counters.h"
@@ -69,8 +70,15 @@ struct ExperimentConfig {
     /// Parallel engine: shard the simulation across this many threads
     /// (sim/parallel.h). Results are byte-identical at any thread count;
     /// scenarios the engine cannot shard (closed-loop, DAG, single-rack,
-    /// wasted-bandwidth probes) silently run serially.
+    /// wasted-bandwidth probes, fluid hybrid) silently run serially.
     ParallelConfig parallel;
+    /// Fluid fast path (sim/fluid.h): messages with length >= this many
+    /// bytes become flow-level fluid transfers instead of packets; 0 sends
+    /// everything fluid, -1 (default) disables the engine entirely. A
+    /// scenario "fluid:" modifier overrides this. Fluid runs are serial
+    /// (any `parallel.threads` yields byte-identical results) and do not
+    /// compose with fault injection (runExperiment aborts).
+    int64_t fluidThresholdBytes = -1;
 };
 
 struct ExperimentResult {
@@ -113,6 +121,17 @@ struct ExperimentResult {
     /// drops by cause (sim/fault.h). The by-cause drops on switch ports
     /// are also folded into `switchDrops`.
     std::unique_ptr<FaultStats> faults;
+
+    /// Fluid-hybrid runs only (null otherwise): the fluid regime's flow
+    /// counts, byte ledger, solver epochs, and slowdown percentiles
+    /// (sim/fluid.h). Fluid deliveries also feed `slowdown` and the
+    /// delivered counters, so whole-run statistics cover both regimes;
+    /// wire-level stats (utilization, queue occupancy, prioUsage) cover
+    /// only the packet regime — fluid bytes never touch the wires. When
+    /// the threshold admits zero flows the block stays out of
+    /// resultFingerprint, so such runs replay byte-identical to pre-fluid
+    /// goldens.
+    std::unique_ptr<FluidStats> fluid;
 
     /// True when the protocol kept up with the offered load: the backlog
     /// of undelivered messages at the end of generation is bounded.

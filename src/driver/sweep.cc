@@ -234,6 +234,26 @@ std::string resultFingerprint(const ExperimentResult& r) {
         appendInt(s, "faultDeadIngress", r.faults->deadIngressDrops);
         appendInt(s, "faultFlushDrops", r.faults->flushDrops);
     }
+    if (r.fluid && r.fluid->flows > 0) {
+        // Fluid block only when flows were actually admitted: a hybrid run
+        // whose threshold exceeds every message (the all-packet extreme)
+        // fingerprints byte-identically to a run without the engine — the
+        // FluidFidelity goldens rely on it.
+        appendInt(s, "fluidThreshold",
+                  static_cast<uint64_t>(r.fluid->thresholdBytes));
+        appendInt(s, "fluidFlows", r.fluid->flows);
+        appendInt(s, "fluidDelivered", r.fluid->delivered);
+        appendInt(s, "fluidSolves", r.fluid->solves);
+        appendInt(s, "fluidMaxConcurrent", r.fluid->maxConcurrent);
+        appendInt(s, "fluidPayload",
+                  static_cast<uint64_t>(r.fluid->payloadBytes));
+        appendInt(s, "fluidWire", static_cast<uint64_t>(r.fluid->wireBytes));
+        appendInt(s, "fluidDeliveredWire",
+                  static_cast<uint64_t>(r.fluid->deliveredWireBytes));
+        appendNum(s, "fluidSlowP50", r.fluid->slowP50);
+        appendNum(s, "fluidSlowP99", r.fluid->slowP99);
+        appendNum(s, "fluidSlowMean", r.fluid->slowMean);
+    }
     if (r.slowdown) {
         appendNum(s, "p50", r.slowdown->overallPercentile(0.50));
         appendNum(s, "p99", r.slowdown->overallPercentile(0.99));

@@ -305,6 +305,7 @@ void Network::sendMessage(Message m) {
     assert(m.dst >= 0 && m.dst < hostCount());
     assert(m.src != m.dst);
     m.created = loopFor(m.src).now();
+    if (intercept_ && intercept_(m)) return;
     hosts_[m.src]->transport().sendMessage(m);
 }
 

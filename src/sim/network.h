@@ -63,6 +63,15 @@ public:
     /// the id must already be unique (use nextMsgId()).
     void sendMessage(Message m);
 
+    /// Fluid fast-path seam (sim/fluid.h): when set, sendMessage offers
+    /// every message here first (after stamping `created`); a true return
+    /// means the interceptor absorbed the message and no packet transport
+    /// ever sees it. Unset (the default) keeps the pure packet path —
+    /// sendMessage behaves byte-identically to before the seam existed.
+    void setMessageInterceptor(std::function<bool(const Message&)> f) {
+        intercept_ = std::move(f);
+    }
+
     /// Global id stream: serial-only issuers (RPC layer, DAG engine, tests).
     MsgId nextMsgId() { return nextMsg_++; }
 
@@ -134,6 +143,7 @@ private:
     std::vector<std::vector<std::vector<RemoteEvent>>> xshard_;
     MsgId nextMsg_ = 1;
     std::vector<uint64_t> perHostMsg_;
+    std::function<bool(const Message&)> intercept_;
 };
 
 }  // namespace homa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -88,6 +89,11 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                         "'<pattern>[+topo:...]' (e.g. "
                         "\"uniform+topo:racks=8,aggr=2,core=2,oversub=4\")");
         }
+        if (head == "fluid") {
+            return fail("a fluid segment cannot come first: the spec is "
+                        "'<pattern>[+fluid:<bytes>]' (e.g. "
+                        "\"uniform+fluid:20000\")");
+        }
         if (head != "dag") {
             return fail("pattern '" + head + "' takes no ':' parameters "
                         "(only dag does)");
@@ -129,10 +135,32 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                 return fail("bad topo spec '" + body + "': " + terr);
             }
             parsed.topoSpec = body;
+        } else if (seg.rfind("fluid:", 0) == 0) {
+            if (parsed.fluidThresholdBytes >= 0) {
+                return fail("at most one fluid: segment per scenario");
+            }
+            const std::string body = seg.substr(6);
+            if (body.empty() ||
+                body.find_first_not_of("0123456789") != std::string::npos) {
+                return fail("bad fluid threshold '" + body +
+                            "' (expected a non-negative byte count, e.g. "
+                            "fluid:20000; 0 = everything fluid)");
+            }
+            errno = 0;
+            const long long v = std::strtoll(body.c_str(), nullptr, 10);
+            if (errno != 0 || v < 0) {
+                return fail("fluid threshold '" + body + "' out of range");
+            }
+            parsed.fluidThresholdBytes = static_cast<int64_t>(v);
         } else {
             return fail("unknown scenario modifier '" + seg +
-                        "' (expected on-off, ecmp, topo:..., or fault:...)");
+                        "' (expected on-off, ecmp, topo:..., fluid:<bytes>, "
+                        "or fault:...)");
         }
+    }
+    if (parsed.fluidThresholdBytes >= 0 && !parsed.faults.empty()) {
+        return fail("fluid does not compose with fault injection: fluid "
+                    "flows bypass the switches faults act on");
     }
     out = parsed;
     return true;

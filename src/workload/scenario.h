@@ -131,6 +131,15 @@ struct ScenarioConfig {
     // "racks=8,hosts=4,aggr=2,core=2,oversub=4". Empty = run the base
     // topology untouched.
     std::string topoSpec;
+
+    // Fluid fast path ("fluid:" modifier): messages with length >= this
+    // many bytes are simulated as flow-level fluid transfers (sim/fluid.h)
+    // instead of packet by packet; 0 sends everything fluid. -1 (default)
+    // defers to ExperimentConfig::fluidThresholdBytes (itself -1 =
+    // disabled). Does not compose with fault injection: fluid flows never
+    // touch the switches faults act on, so a hybrid fault run would break
+    // conservation silently — the spec parser rejects the combination.
+    int64_t fluidThresholdBytes = -1;
 };
 
 /// Parses a scenario spec: a pattern segment followed by '+'-separated
@@ -138,8 +147,10 @@ struct ScenarioConfig {
 /// at=50ms,for=10ms+fault:degrade=host3,drop=0.01". The pattern leaves
 /// all knobs at defaults — except `dag`, which takes parameters:
 /// "dag[:k=v,k=v...]" (keys per parseDagSpec). Modifiers: "on-off",
-/// "ecmp", "topo:<body>" (parseTopoSpec; at most one), and any number of
-/// "fault:<body>" segments (parseFaultSpec).
+/// "ecmp", "topo:<body>" (parseTopoSpec; at most one), "fluid:<bytes>"
+/// (fluid fast-path threshold, a non-negative integer; at most one, and
+/// not combinable with fault segments), and any number of "fault:<body>"
+/// segments (parseFaultSpec).
 /// Returns false and leaves `out` untouched on malformed specs, with a
 /// human-readable reason in *err (if given). This is the syntax the
 /// figure benches accept via HOMA_SCENARIO.

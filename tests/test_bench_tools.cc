@@ -1,0 +1,191 @@
+// Subprocess tests for the CI bench tooling: bench_compare's fluid and
+// fidelity gates plus the skip-annotation write-back, and
+// bench_trajectory's history folding. These exec the real binaries the
+// CI workflow runs, against artifacts written to the test temp dir and
+// the checked-in fixtures under bench/baselines/testdata/.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace homa {
+namespace {
+
+#if defined(HOMA_BENCH_COMPARE_BIN) && defined(HOMA_BENCH_TRAJECTORY_BIN)
+
+std::string tempPath(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+void writeFile(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out << text;
+}
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+size_t countOf(const std::string& text, const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+        n++;
+    }
+    return n;
+}
+
+/// Runs `bin args`, returns the exit status and captures stdout+stderr.
+int runTool(const std::string& bin, const std::string& args,
+            std::string* output = nullptr) {
+    const std::string cmd = bin + " " + args + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr) return -1;
+    std::string out;
+    char buf[512];
+    while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+    const int status = pclose(pipe);
+    if (output != nullptr) *output = out;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+const std::string kSweepBaseline = R"({
+  "bench": "sweep_speedup",
+  "hardware_cores": 8,
+  "speedup": 3.0,
+  "results_identical_across_thread_counts": true
+})";
+
+TEST(BenchCompareCli, AnnotatesSkippedSpeedupGateIntoTheArtifact) {
+    const std::string base = tempPath("skipgate_base.json");
+    const std::string cur = tempPath("skipgate_cur.json");
+    writeFile(base, kSweepBaseline);
+    writeFile(cur, R"({
+  "bench": "sweep_speedup",
+  "hardware_cores": 1,
+  "speedup": 0.8,
+  "results_identical_across_thread_counts": true
+})");
+    // The starved runner passes (skip, not silent failure)...
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+    // ...but the skip is now recorded in the artifact itself.
+    const std::string annotated = readFile(cur);
+    EXPECT_NE(annotated.find("\"speedup_gate_skipped\": true"),
+              std::string::npos) << annotated;
+    EXPECT_NE(annotated.find("hardware cores"), std::string::npos);
+    // Idempotent: a second compare does not stack annotations.
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+    EXPECT_EQ(countOf(readFile(cur), "speedup_gate_skipped"), 1u);
+}
+
+TEST(BenchCompareCli, GatedRunnerIsNotAnnotated) {
+    const std::string base = tempPath("nogate_base.json");
+    const std::string cur = tempPath("nogate_cur.json");
+    writeFile(base, kSweepBaseline);
+    writeFile(cur, kSweepBaseline);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+    EXPECT_EQ(readFile(cur).find("speedup_gate_skipped"),
+              std::string::npos);
+}
+
+const std::string kFluidArtifact = R"({
+  "bench": "fluid_speedup",
+  "hardware_cores": 8,
+  "hosts": 10240,
+  "speedup": 14.6,
+  "fidelity": [
+    {"scenario": "uniform", "packet_p50": 1.03, "hybrid_p50": 1.00,
+     "packet_p99": 1.72, "hybrid_p99": 2.53}
+  ],
+  "all_packet_identical": true
+})";
+
+TEST(BenchCompareCli, FluidGateEnforcesTheSpeedupFloor) {
+    const std::string base = tempPath("fluid_base.json");
+    const std::string cur = tempPath("fluid_cur.json");
+    writeFile(base, kFluidArtifact);
+    writeFile(cur, kFluidArtifact);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+    // Same artifact, speedup below the floor: fails at any tolerance.
+    std::string slow = kFluidArtifact;
+    slow.replace(slow.find("14.6"), 4, "08.1");
+    writeFile(cur, slow);
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      "--tolerance 9 " + base + " " + cur, &out), 1);
+    EXPECT_NE(out.find("below the 10x floor"), std::string::npos) << out;
+}
+
+TEST(BenchCompareCli, FluidGateHardFailsOnBrokenIdentity) {
+    const std::string base = tempPath("fluid_id_base.json");
+    const std::string cur = tempPath("fluid_id_cur.json");
+    writeFile(base, kFluidArtifact);
+    std::string broken = kFluidArtifact;
+    broken.replace(broken.find("\"all_packet_identical\": true"),
+                   std::string("\"all_packet_identical\": true").size(),
+                   "\"all_packet_identical\": false");
+    writeFile(cur, broken);
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      "--tolerance 9 " + base + " " + cur, &out), 1);
+    EXPECT_NE(out.find("all_packet_identical"), std::string::npos) << out;
+}
+
+TEST(BenchCompareCli, FidelityModePassesHealthyAndFailsDegraded) {
+    const std::string healthy = tempPath("fid_ok.json");
+    writeFile(healthy, kFluidArtifact);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, "--fidelity " + healthy), 0);
+    // Inflate the hybrid tail past the 2.5x band.
+    std::string degraded = kFluidArtifact;
+    degraded.replace(degraded.find("\"hybrid_p99\": 2.53"),
+                     std::string("\"hybrid_p99\": 2.53").size(),
+                     "\"hybrid_p99\": 12.0");
+    const std::string bad = tempPath("fid_bad.json");
+    writeFile(bad, degraded);
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, "--fidelity " + bad, &out), 1);
+    EXPECT_NE(out.find("fidelity drift"), std::string::npos) << out;
+    // And a drifted p50 fails independently of the p99 band.
+    std::string shifted = kFluidArtifact;
+    shifted.replace(shifted.find("\"hybrid_p50\": 1.00"),
+                    std::string("\"hybrid_p50\": 1.00").size(),
+                    "\"hybrid_p50\": 1.40");
+    writeFile(bad, shifted);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, "--fidelity " + bad, &out), 1);
+    EXPECT_NE(out.find("drift at p50"), std::string::npos) << out;
+}
+
+TEST(BenchTrajectoryCli, FoldsRunHistoryIntoAMarkdownReport) {
+    const std::string out = tempPath("BENCH_trajectory.md");
+    EXPECT_EQ(runTool(HOMA_BENCH_TRAJECTORY_BIN,
+                      std::string(HOMA_TESTDATA_DIR) + "/trajectory " + out),
+              0);
+    const std::string md = readFile(out);
+    // Both fixture artifacts, in both layouts (flat and artifact subdir).
+    EXPECT_NE(md.find("## BENCH_fluid.json"), std::string::npos) << md;
+    EXPECT_NE(md.find("## BENCH_sweep.json"), std::string::npos) << md;
+    // Deltas vs the previous run, and the recorded gate skip surfaced.
+    EXPECT_NE(md.find("+10.6%"), std::string::npos) << md;
+    EXPECT_NE(md.find("skipped"), std::string::npos) << md;
+}
+
+TEST(BenchTrajectoryCli, RejectsEmptyHistory) {
+    const std::string empty = tempPath("trajectory_empty");
+    std::remove(empty.c_str());
+    ASSERT_EQ(std::system(("mkdir -p " + empty).c_str()), 0);
+    EXPECT_EQ(runTool(HOMA_BENCH_TRAJECTORY_BIN,
+                      empty + " " + tempPath("unused.md")), 2);
+}
+
+#endif  // HOMA_BENCH_COMPARE_BIN && HOMA_BENCH_TRAJECTORY_BIN
+
+}  // namespace
+}  // namespace homa
