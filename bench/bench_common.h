@@ -43,6 +43,14 @@ inline ScenarioConfig scenarioFromEnv() {
                      "example_run_experiment --trace FILE\n");
         std::exit(2);
     }
+    if (s.serving.enabled()) {
+        std::fprintf(stderr,
+                     "HOMA_SCENARIO with tenants: serving scenarios run "
+                     "the RPC harness, not the message-level benches; use "
+                     "example_run_experiment --tenants / bench_serving "
+                     "instead\n");
+        std::exit(2);
+    }
     if (s.kind == TrafficPatternKind::ClosedLoop ||
         s.kind == TrafficPatternKind::Dag) {
         // These modes set their own rate, so a bench's load axis

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "driver/experiment.h"
+#include "driver/rpc_experiment.h"
 #include "stats/report.h"
 
 using namespace homa;
@@ -63,6 +64,9 @@ namespace {
         "  --dag-stage-sizes LIST  dag: per-stage response bytes, comma-\n"
         "                          separated root-to-leaf (default: sample\n"
         "                          the workload distribution per node)\n"
+        "  --dag-join F            dag: fraction of depth>=2 nodes that\n"
+        "                          gain a second parent one stage up (0;\n"
+        "                          turns the trees into general DAGs)\n"
         "  --dag-straggler F       dag: straggler fraction of leaves (0)\n"
         "  --dag-straggler-factor F  dag: straggler size multiplier (10)\n"
         "  --on-off                ON-OFF bursts: modulate any pattern with\n"
@@ -85,6 +89,19 @@ namespace {
         "                          (0 = everything fluid; default: all\n"
         "                          packet-level). Not combinable with\n"
         "                          --fault; fluid runs are always serial\n"
+        "  --tenants SPEC          multi-tenant serving mode (runs the RPC\n"
+        "                          harness): ';'-separated tenants of comma\n"
+        "                          k=v — name, wl (W1..W5), mode\n"
+        "                          (open|closed), load, window, think_us,\n"
+        "                          clients, group — e.g. 'name=web,wl=W1,\n"
+        "                          load=0.6,clients=4;name=batch,wl=W5,\n"
+        "                          mode=closed,window=8,clients=2'\n"
+        "  --replicas SPEC         replica groups for --tenants:\n"
+        "                          ';'-separated groups of comma k=v —\n"
+        "                          name, n (replicas; 0 = rest), lb\n"
+        "                          (rr|random|p2c), hedge (off|pNN),\n"
+        "                          hedge_floor_us, hedge_min\n"
+        "                          (see docs/SCENARIOS.md)\n"
         "  Homa knobs: --wire-priorities N, --sched N, --unsched N,\n"
         "              --cutoff BYTES, --unsched-bytes N, --reservation F,\n"
         "              --overcommit N, --no-incast-control,\n"
@@ -132,6 +149,8 @@ int main(int argc, char** argv) {
     bool closedLoopFlagSeen = false, onOffKnobSeen = false;
     bool dagFlagSeen = false, traceSeen = false, patternSeen = false;
     bool singleRackSeen = false;
+    bool tenantsSeen = false, replicasSeen = false;
+    ServingConfig servingCfg;
     std::string topoSpec;
     TrafficPatternKind explicitPattern = TrafficPatternKind::Uniform;
     for (int i = 1; i < argc; i++) {
@@ -218,6 +237,9 @@ int main(int argc, char** argv) {
             cfg.traffic.scenario.dag.stageResponseBytes =
                 std::move(parsed.stageResponseBytes);
             dagFlagSeen = true;
+        } else if (arg == "--dag-join") {
+            dagDouble(arg, next(), cfg.traffic.scenario.dag.joinFraction);
+            dagFlagSeen = true;
         } else if (arg == "--dag-straggler") {
             dagDouble(arg, next(),
                       cfg.traffic.scenario.dag.stragglerFraction);
@@ -274,6 +296,24 @@ int main(int argc, char** argv) {
                 usage();
             }
             cfg.fluidThresholdBytes = std::stoll(val);
+        } else if (arg == "--tenants") {
+            const std::string spec = next();
+            std::string terr;
+            if (!parseTenantsSpec(spec, servingCfg.tenants, &terr)) {
+                std::fprintf(stderr, "--tenants '%s': %s\n", spec.c_str(),
+                             terr.c_str());
+                usage();
+            }
+            tenantsSeen = true;
+        } else if (arg == "--replicas") {
+            const std::string spec = next();
+            std::string rerr;
+            if (!parseReplicasSpec(spec, servingCfg.groups, &rerr)) {
+                std::fprintf(stderr, "--replicas '%s': %s\n", spec.c_str(),
+                             rerr.c_str());
+                usage();
+            }
+            replicasSeen = true;
         } else if (arg == "--wire-priorities") {
             cfg.proto.homa.wirePriorities = std::stoi(next());
         } else if (arg == "--sched") {
@@ -313,6 +353,77 @@ int main(int argc, char** argv) {
         }
     }
     const bool dagMode = cfg.traffic.scenario.kind == TrafficPatternKind::Dag;
+    if (replicasSeen && !tenantsSeen) {
+        std::fprintf(stderr,
+                     "--replicas needs --tenants: replica groups without "
+                     "tenants serve nobody\n");
+        usage();
+    }
+    if (tenantsSeen) {
+        // Serving mode runs the RPC harness: tenants own the arrival
+        // processes and destinations, so every message-level traffic
+        // shaping flag would be silently ignored — reject instead.
+        if (traceSeen) {
+            std::fprintf(stderr,
+                         "--tenants contradicts --trace: tenants issue "
+                         "their own RPCs, a replayed schedule cannot — "
+                         "pick one\n");
+            usage();
+        }
+        if (dagMode || dagFlagSeen) {
+            std::fprintf(stderr,
+                         "--tenants contradicts --dag-*/--pattern dag: "
+                         "serving mode and dag mode are separate RPC "
+                         "harnesses — pick one\n");
+            usage();
+        }
+        if (patternSeen) {
+            std::fprintf(stderr,
+                         "--tenants contradicts --pattern %s: tenant "
+                         "configs own destination choice and arrival "
+                         "modes\n",
+                         patternName(explicitPattern));
+            usage();
+        }
+        if (closedLoopFlagSeen) {
+            std::fprintf(stderr,
+                         "--window/--think-us do not apply to --tenants: "
+                         "use per-tenant 'mode=closed,window=N,think_us=F' "
+                         "in the tenant spec\n");
+            usage();
+        }
+        if (cfg.traffic.scenario.onOff.enabled || onOffKnobSeen) {
+            std::fprintf(stderr,
+                         "--on-off does not compose with --tenants: each "
+                         "tenant carries its own arrival mode\n");
+            usage();
+        }
+        if (!cfg.traffic.scenario.faults.empty()) {
+            std::fprintf(stderr,
+                         "--tenants does not compose with --fault: the "
+                         "serving harness's call ledgers assume a "
+                         "fault-free fabric\n");
+            usage();
+        }
+        if (cfg.fluidThresholdBytes >= 0) {
+            std::fprintf(stderr,
+                         "--tenants does not compose with --fluid: serving "
+                         "runs account per RPC on the packet engine\n");
+            usage();
+        }
+        if (cfg.traffic.scenario.ecmpUplinks) {
+            std::fprintf(stderr,
+                         "--ecmp does not apply to --tenants: the RPC "
+                         "harness runs the paper's per-packet spraying\n");
+            usage();
+        }
+        if (cfg.measureWastedBandwidth) {
+            std::fprintf(stderr,
+                         "--wasted-bw does not apply to --tenants: the "
+                         "wasted-bandwidth probe is message-level\n");
+            usage();
+        }
+    }
     if (cfg.traffic.scenario.kind == TrafficPatternKind::TraceReplay &&
         cfg.traffic.scenario.tracePath.empty()) {
         std::fprintf(stderr,
@@ -426,6 +537,88 @@ int main(int argc, char** argv) {
             cfg.proto.homa.unschedPriorities = 1;
             cfg.proto.homa.logicalPriorities = sched + 1;
         }
+    }
+
+    if (tenantsSeen) {
+        RpcExperimentConfig rc;
+        // The RPC harness defaults to the paper's single-switch cluster
+        // (§5.1); --topo / --single-rack override it like everywhere else.
+        rc.net = (singleRackSeen || !topoSpec.empty())
+                     ? cfg.net
+                     : NetworkConfig::singleRack16();
+        rc.proto = cfg.proto;
+        rc.seed = cfg.traffic.seed;
+        rc.stop = cfg.traffic.stop;
+        rc.parallel = cfg.parallel;
+        rc.serving = servingCfg;
+        const std::string why =
+            validateServingConfig(rc.serving, rc.net.hostCount());
+        if (!why.empty()) {
+            std::fprintf(stderr, "bad serving config: %s\n", why.c_str());
+            usage();
+        }
+        const auto groups = rc.serving.effectiveGroups();
+        std::printf(
+            "%s on %s, serving %zu tenants (%d clients), window %.0f ms, "
+            "seed %llu\n",
+            protocolName(rc.proto.kind), topologySummary(rc.net).c_str(),
+            rc.serving.tenants.size(), rc.serving.totalClients(),
+            toSeconds(rc.stop) * 1e3,
+            static_cast<unsigned long long>(rc.seed));
+        std::printf("replica groups: %s\n\n",
+                    replicasSpecToString(groups).c_str());
+
+        RpcExperimentResult r = runRpcExperiment(rc);
+
+        Table t({"tenant", "mode", "clients", "ops", "ops/s", "Gbps",
+                 "p50 us", "p99 us", "slow p99", "hedged", "won"});
+        for (size_t i = 0; i < rc.serving.tenants.size(); i++) {
+            const TenantConfig& tc = rc.serving.tenants[i];
+            const int ti = static_cast<int>(i);
+            const TenantHedgeStats& h = r.tenants->hedges(ti);
+            t.addRow({tc.name, arrivalModeName(tc.mode),
+                      std::to_string(tc.clients),
+                      std::to_string(r.tenants->completed(ti)),
+                      std::to_string(
+                          static_cast<long long>(r.tenants->opsPerSec(ti))),
+                      Table::num(r.tenants->gbps(ti)),
+                      Table::num(r.tenants->latencyPercentileUs(ti, 0.50)),
+                      Table::num(r.tenants->latencyPercentileUs(ti, 0.99)),
+                      Table::num(r.tenants->slowdownPercentile(ti, 0.99)),
+                      std::to_string(h.issued), std::to_string(h.won)});
+        }
+        std::printf("%s\n", t.format().c_str());
+
+        const ServingStats& s = r.serving;
+        std::printf(
+            "logical RPCs: %llu issued, %llu completed in window, "
+            "keptUp=%s\n",
+            static_cast<unsigned long long>(s.logicalIssued),
+            static_cast<unsigned long long>(r.completed),
+            r.keptUp ? "yes" : "no");
+        std::printf(
+            "calls: %llu issued (%llu hedges), %llu responses consumed, "
+            "%llu retries\n",
+            static_cast<unsigned long long>(s.callsIssued),
+            static_cast<unsigned long long>(s.hedgesIssued),
+            static_cast<unsigned long long>(s.responsesConsumed),
+            static_cast<unsigned long long>(r.retries));
+        std::printf(
+            "hedges: %llu issued = %llu won + %llu cancelled + %llu "
+            "failed; primaries cancelled: %llu\n",
+            static_cast<unsigned long long>(s.hedgesIssued),
+            static_cast<unsigned long long>(s.hedgesWon),
+            static_cast<unsigned long long>(s.hedgesCancelled),
+            static_cast<unsigned long long>(s.hedgesFailed),
+            static_cast<unsigned long long>(s.primariesCancelled));
+        std::printf(
+            "bytes: %lld issued = %lld consumed + %lld refunded + %lld "
+            "unresolved\n",
+            static_cast<long long>(s.issuedBytes),
+            static_cast<long long>(s.consumedBytes),
+            static_cast<long long>(s.refundedBytes),
+            static_cast<long long>(s.unresolvedBytes));
+        return 0;
     }
 
     const SizeDistribution& dist = workload(cfg.traffic.workload);

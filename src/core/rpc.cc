@@ -41,6 +41,14 @@ RpcId RpcEndpoint::call(HostId server, uint32_t requestSize, ResponseCallback cb
     return req.id;
 }
 
+bool RpcEndpoint::cancel(RpcId id) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return false;
+    pending_.erase(it);
+    stats_.cancelled++;
+    return true;
+}
+
 void RpcEndpoint::respond(const Message& request, uint32_t responseSize) {
     Message resp;
     resp.id = request.id | kRpcResponseBit;

@@ -50,6 +50,7 @@ public:
         uint64_t retries = 0;        // client-side RESENDs for responses
         uint64_t reexecutions = 0;   // server handler ran again for same RPC
         uint64_t aborted = 0;        // client gave up after max retries
+        uint64_t cancelled = 0;      // caller cancelled (hedge lost the race)
     };
 
     /// Installs itself as the delivery callback of host `self`'s transport.
@@ -63,6 +64,14 @@ public:
     void setAsyncHandler(AsyncHandler h) { asyncHandler_ = std::move(h); }
 
     RpcId call(HostId server, uint32_t requestSize, ResponseCallback cb);
+
+    /// Abandon a pending RPC without waiting for its response: the loser
+    /// of a hedged request race. Drops the callback and stops the retry
+    /// scan for this id; a response that still arrives is ignored like
+    /// any duplicate (the server may well have executed the operation —
+    /// at-least-once semantics are unchanged). Returns false when the id
+    /// is no longer pending (already answered, aborted, or cancelled).
+    bool cancel(RpcId id);
 
     size_t outstanding() const { return pending_.size(); }
     const Stats& stats() const { return stats_; }

@@ -161,6 +161,15 @@ int requestedShards(const ExperimentConfig& cfg) {
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+    if (cfg.traffic.scenario.serving.enabled()) {
+        // Serving scenarios run through runRpcExperiment; silently running
+        // the uniform placeholder pattern here would measure nothing the
+        // spec asked for.
+        std::fprintf(stderr,
+                     "runExperiment: serving scenarios (tenants) must run "
+                     "through runRpcExperiment\n");
+        std::abort();
+    }
     const SizeDistribution& dist = workload(cfg.traffic.workload);
 
     NetworkConfig netCfg = cfg.net;

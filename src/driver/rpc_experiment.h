@@ -15,11 +15,14 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rpc.h"
 #include "driver/experiment.h"
+#include "stats/tenant.h"
 #include "workload/rpc_dag.h"
+#include "workload/serving.h"
 
 namespace homa {
 
@@ -51,6 +54,17 @@ struct RpcExperimentConfig {
     bool dagMode = false;
     DagConfig dag;
 
+    /// Multi-tenant serving mode when `serving.tenants` is non-empty:
+    /// each tenant owns a client subset (serving.totalClients() replaces
+    /// `clients`) with its own workload/arrival mode, and sends to a
+    /// replica group (named server pool) through a ReplicaSelector —
+    /// round-robin, random, or power-of-two-choices on outstanding-RPC
+    /// depth — with optional SLO-aware hedging (workload/serving.h).
+    /// Mutually exclusive with `dagMode`; `workload`, `load`,
+    /// `closedLoopWindow`, `thinkTime`, and `onOff` are ignored (each
+    /// tenant carries its own).
+    ServingConfig serving;
+
     /// Parallel-engine knob, accepted for config uniformity with
     /// ExperimentConfig (sweep grids carry one knob). The RPC harness
     /// orchestrates every client from one loop and draws RpcIds from the
@@ -58,6 +72,34 @@ struct RpcExperimentConfig {
     /// default single-switch topology (§5.1) would clamp to one shard
     /// regardless.
     ParallelConfig parallel;
+};
+
+/// Whole-run conservation ledgers of a serving experiment (not
+/// window-gated — conservation must hold over *every* call, or the
+/// accounting is broken). The serving tests pin these invariants:
+///   callsIssued       == logicalIssued + hedgesIssued
+///   responsesConsumed == logicalCompleted   (one response per logical RPC)
+///   hedgesIssued      == hedgesWon + hedgesCancelled + hedgesFailed
+///   primariesCancelled== hedgesWon          (losing primary cancelled)
+///   issuedBytes       == consumedBytes + refundedBytes + unresolvedBytes
+/// The byte ledger is exact because servers echo (response size ==
+/// request size): every call is worth 2*size, consumed by the winning
+/// response, refunded when the call is cancelled, or left unresolved at
+/// run end.
+struct ServingStats {
+    uint64_t logicalIssued = 0;      ///< logical RPCs started
+    uint64_t logicalCompleted = 0;   ///< logical RPCs whose response arrived
+    uint64_t callsIssued = 0;        ///< endpoint calls: primaries + hedges
+    uint64_t responsesConsumed = 0;  ///< responses that completed a logical
+    uint64_t hedgesIssued = 0;
+    uint64_t hedgesWon = 0;          ///< hedge answered first
+    uint64_t hedgesCancelled = 0;    ///< primary answered first
+    uint64_t hedgesFailed = 0;       ///< hedge unresolved at run end
+    uint64_t primariesCancelled = 0; ///< primaries cancelled by winning hedge
+    int64_t issuedBytes = 0;         ///< 2*size per call at issue
+    int64_t consumedBytes = 0;       ///< 2*size of each winning call
+    int64_t refundedBytes = 0;       ///< 2*size of each cancelled call
+    int64_t unresolvedBytes = 0;     ///< calls never resolved by run end
 };
 
 struct RpcExperimentResult {
@@ -74,10 +116,24 @@ struct RpcExperimentResult {
     /// Dag mode only (null otherwise): per-tree completion and slowdown.
     /// `issued`/`completed` then count trees, not individual RPCs.
     std::unique_ptr<DagTracker> dag;
+    /// Serving mode only (null otherwise): per-tenant SLO metrics.
+    std::unique_ptr<TenantTracker> tenants;
+    /// Serving mode conservation ledgers (all-zero otherwise).
+    ServingStats serving;
     bool keptUp = false;
 };
 
 RpcExperimentResult runRpcExperiment(const RpcExperimentConfig& cfg);
+
+/// Canonical serialization of everything an RpcExperimentResult measures,
+/// doubles as hex floats — the RPC-side sibling of
+/// resultFingerprint(ExperimentResult) in driver/sweep.h. Two results are
+/// byte-identical iff their fingerprints are equal; the serving
+/// determinism goldens diff these across replays, thread counts, and
+/// sweep widths. The tenant/serving block appears only when `r.tenants`
+/// is set, so non-serving fingerprints are unchanged by the serving
+/// layer's existence.
+std::string resultFingerprint(const RpcExperimentResult& r);
 
 /// Figure 10: one client (host 0) issues `concurrent` RPCs in parallel to
 /// the other 15 hosts (tiny request, `responseBytes` response), refilling

@@ -152,6 +152,60 @@ ShardOutcome SweepRunner::runShard(std::vector<ExperimentConfig> points,
     return out;
 }
 
+RpcSweepOutcome runRpcSweep(std::vector<RpcExperimentConfig> points,
+                            const SweepOptions& opts) {
+    RpcSweepOutcome out;
+    if (opts.deriveSeeds) {
+        for (size_t i = 0; i < points.size(); i++) {
+            points[i].seed = deriveSweepSeed(opts.baseSeed, i);
+        }
+    }
+    if (opts.simThreads > 0) {
+        for (RpcExperimentConfig& p : points) {
+            p.parallel.threads = opts.simThreads;
+        }
+    }
+    int threads = opts.threads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads <= 0) threads = 1;
+    }
+    threads = std::min<int>(threads, static_cast<int>(points.size()));
+    threads = std::max(threads, 1);
+    out.results.resize(points.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Pre-build the workload caches serially (see fanOut): serving points
+    // may touch several distributions, one per tenant.
+    for (const RpcExperimentConfig& p : points) {
+        workload(p.workload).meanWireBytes();
+        for (const TenantConfig& t : p.serving.tenants) {
+            workload(t.workload).meanWireBytes();
+        }
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size()) return;
+            out.results[i] = runRpcExperiment(points[i]);
+        }
+    };
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; t++) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+    out.threadsUsed = threads;
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return out;
+}
+
 namespace {
 
 void appendNum(std::string& s, const char* key, double v) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "driver/rpc_experiment.h"
 
 namespace homa {
 
@@ -118,6 +119,20 @@ public:
 private:
     SweepOptions opts_;
 };
+
+/// RPC-harness sweep: the serving/dag/echo sibling of SweepRunner::run,
+/// with the same contract — results[i] corresponds to points[i] whatever
+/// the thread count, and SweepOptions::deriveSeeds overwrites point i's
+/// `seed` with deriveSweepSeed(baseSeed, i) so a width-N sweep runs the
+/// exact experiments N width-1 sweeps would.
+struct RpcSweepOutcome {
+    std::vector<RpcExperimentResult> results;
+    double wallSeconds = 0;
+    int threadsUsed = 1;
+};
+
+RpcSweepOutcome runRpcSweep(std::vector<RpcExperimentConfig> points,
+                            const SweepOptions& opts = {});
 
 /// Canonical serialization of everything an ExperimentResult measures
 /// (counts, per-decile slowdown rows, utilization, queues, drops), with

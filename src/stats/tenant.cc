@@ -1,0 +1,71 @@
+#include "stats/tenant.h"
+
+#include <cassert>
+
+namespace homa {
+
+TenantTracker::TenantTracker(int tenants, Time windowStart, Time windowEnd)
+    : windowStart_(windowStart),
+      windowEnd_(windowEnd),
+      completed_(static_cast<size_t>(tenants)),
+      bytes_(static_cast<size_t>(tenants)),
+      latencyUs_(static_cast<size_t>(tenants)),
+      slowdown_(static_cast<size_t>(tenants)),
+      hedges_(static_cast<size_t>(tenants)) {
+    assert(tenants > 0);
+    assert(windowEnd_ > windowStart_);
+}
+
+void TenantTracker::record(int tenant, int64_t bytes, Duration elapsed,
+                           double slowdown, Time completedAt) {
+    assert(tenant >= 0 && tenant < tenants());
+    if (completedAt < windowStart_ || completedAt >= windowEnd_) return;
+    completed_[tenant]++;
+    bytes_[tenant] += bytes;
+    latencyUs_[tenant].add(toMicros(elapsed));
+    slowdown_[tenant].add(slowdown);
+}
+
+uint64_t TenantTracker::totalCompleted() const {
+    uint64_t total = 0;
+    for (uint64_t c : completed_) total += c;
+    return total;
+}
+
+double TenantTracker::windowSeconds() const {
+    return toSeconds(windowEnd_ - windowStart_);
+}
+
+double TenantTracker::opsPerSec(int tenant) const {
+    return static_cast<double>(completed_[tenant]) / windowSeconds();
+}
+
+double TenantTracker::gbps(int tenant) const {
+    return static_cast<double>(bytes_[tenant]) * 8.0 /
+           (windowSeconds() * 1e9);
+}
+
+double TenantTracker::latencyPercentileUs(int tenant, double p) const {
+    return latencyUs_[tenant].percentile(p);
+}
+
+double TenantTracker::latencyMeanUs(int tenant) const {
+    return latencyUs_[tenant].empty() ? 0 : latencyUs_[tenant].mean();
+}
+
+double TenantTracker::slowdownPercentile(int tenant, double p) const {
+    return slowdown_[tenant].percentile(p);
+}
+
+TenantHedgeStats TenantTracker::totalHedges() const {
+    TenantHedgeStats total;
+    for (const TenantHedgeStats& h : hedges_) {
+        total.issued += h.issued;
+        total.won += h.won;
+        total.cancelled += h.cancelled;
+        total.failed += h.failed;
+    }
+    return total;
+}
+
+}  // namespace homa

@@ -1,0 +1,75 @@
+// Per-tenant SLO metrics for the multi-tenant serving harness.
+//
+// A serving experiment mixes tenants with different workloads and arrival
+// modes against shared replica groups; aggregate percentiles hide exactly
+// the cross-tenant interference the harness exists to measure. The
+// tracker keeps one row per tenant: in-window completion counts and
+// latency/slowdown percentiles, plus whole-run hedge/retry accounting
+// (the hedge counters are conservation ledgers — issued must equal
+// won + cancelled + failed — so they are *not* window-gated).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/percentile.h"
+
+namespace homa {
+
+/// Hedge lifecycle counts of one tenant. Conservation invariant (the
+/// serving tests pin it): issued == won + cancelled + failed once the
+/// run has drained.
+struct TenantHedgeStats {
+    uint64_t issued = 0;     ///< hedge RPCs sent to a second replica
+    uint64_t won = 0;        ///< hedge answered first (primary cancelled)
+    uint64_t cancelled = 0;  ///< primary answered first (hedge cancelled)
+    uint64_t failed = 0;     ///< neither response arrived by run end
+};
+
+class TenantTracker {
+public:
+    /// Tracks `tenants` tenants; only completions with `completedAt` in
+    /// [windowStart, windowEnd) contribute to the latency/slowdown rows.
+    TenantTracker(int tenants, Time windowStart, Time windowEnd);
+
+    /// Record one completed logical RPC. `bytes` is request + response
+    /// payload; `slowdown` is elapsed over the unloaded echo time.
+    void record(int tenant, int64_t bytes, Duration elapsed, double slowdown,
+                Time completedAt);
+
+    void recordHedgeIssued(int tenant) { hedges_[tenant].issued++; }
+    void recordHedgeWon(int tenant) { hedges_[tenant].won++; }
+    void recordHedgeCancelled(int tenant) { hedges_[tenant].cancelled++; }
+    void recordHedgeFailed(int tenant) { hedges_[tenant].failed++; }
+
+    int tenants() const { return static_cast<int>(completed_.size()); }
+    uint64_t completed(int tenant) const { return completed_[tenant]; }
+    uint64_t totalCompleted() const;
+    double opsPerSec(int tenant) const;
+    double gbps(int tenant) const;
+
+    /// In-window latency percentile (p in [0,1]) in microseconds; 0 when
+    /// the tenant completed nothing in the window.
+    double latencyPercentileUs(int tenant, double p) const;
+    double latencyMeanUs(int tenant) const;
+    double slowdownPercentile(int tenant, double p) const;
+
+    const TenantHedgeStats& hedges(int tenant) const {
+        return hedges_[tenant];
+    }
+    TenantHedgeStats totalHedges() const;
+
+private:
+    double windowSeconds() const;
+
+    Time windowStart_;
+    Time windowEnd_;
+    std::vector<uint64_t> completed_;
+    std::vector<int64_t> bytes_;
+    std::vector<Samples> latencyUs_;
+    std::vector<Samples> slowdown_;
+    std::vector<TenantHedgeStats> hedges_;
+};
+
+}  // namespace homa

@@ -32,6 +32,9 @@ const char* validateDagConfig(const DagConfig& cfg) {
         return "straggler fraction must be in [0, 1]";
     }
     if (cfg.stragglerFactor < 1) return "straggler factor must be >= 1";
+    if (cfg.joinFraction < 0 || cfg.joinFraction > 1) {
+        return "join fraction must be in [0, 1]";
+    }
     if (dagTreeNodeCount(cfg) > kMaxDagNodes) {
         return "fanout^depth exceeds the per-tree node cap";
     }
@@ -107,6 +110,8 @@ bool parseDagSpec(const std::string& body, DagConfig& out) {
             if (!parseDagDouble(val, cfg.stragglerFraction)) return false;
         } else if (key == "factor") {
             if (!parseDagDouble(val, cfg.stragglerFactor)) return false;
+        } else if (key == "join") {
+            if (!parseDagDouble(val, cfg.joinFraction)) return false;
         } else {
             return false;
         }
@@ -164,7 +169,45 @@ DagTreeSpec sampleDagTree(
         levelBegin = levelEnd;
         levelEnd = tree.nodes.size();
     }
+
+    // Join edges are sampled *after* the full tree build: joinFraction = 0
+    // draws nothing, so pure-tree shapes replay byte-identically to the
+    // pre-join sampler. Candidates for node i's extra parent: the previous
+    // stage, minus its own parent and any node on i's host (a node never
+    // queries itself).
+    if (cfg.joinFraction > 0 && cfg.depth >= 2) {
+        // Stages are contiguous in BFS order: stage s occupies
+        // [stageFirst[s], stageFirst[s + 1]).
+        std::vector<size_t> stageFirst(static_cast<size_t>(cfg.depth) + 2,
+                                       tree.nodes.size());
+        for (size_t i = tree.nodes.size(); i-- > 0;) {
+            stageFirst[static_cast<size_t>(tree.nodes[i].stage)] = i;
+        }
+        std::vector<int> candidates;
+        for (size_t i = 1; i < tree.nodes.size(); i++) {
+            const DagNodeSpec& n = tree.nodes[i];
+            if (n.stage < 2) continue;
+            if (!rng.chance(cfg.joinFraction)) continue;
+            candidates.clear();
+            for (size_t p = stageFirst[static_cast<size_t>(n.stage) - 1];
+                 p < stageFirst[static_cast<size_t>(n.stage)]; p++) {
+                if (static_cast<int>(p) == n.parent) continue;
+                if (tree.nodes[p].host == n.host) continue;
+                candidates.push_back(static_cast<int>(p));
+            }
+            if (candidates.empty()) continue;
+            const int extra =
+                candidates[rng.below(static_cast<int>(candidates.size()))];
+            tree.joins.push_back(DagJoinEdge{extra, static_cast<int>(i)});
+        }
+    }
     return tree;
+}
+
+std::vector<std::vector<int>> dagJoinChildren(const DagTreeSpec& tree) {
+    std::vector<std::vector<int>> kids(tree.nodes.size());
+    for (const DagJoinEdge& e : tree.joins) kids[e.parent].push_back(e.child);
+    return kids;
 }
 
 int64_t dagTreeBytes(const DagConfig& cfg, const DagTreeSpec& tree) {
@@ -172,26 +215,56 @@ int64_t dagTreeBytes(const DagConfig& cfg, const DagTreeSpec& tree) {
     for (size_t i = 1; i < tree.nodes.size(); i++) {
         total += static_cast<int64_t>(cfg.requestBytes) + tree.nodes[i].respBytes;
     }
+    for (const DagJoinEdge& e : tree.joins) {
+        total += static_cast<int64_t>(cfg.requestBytes) +
+                 tree.nodes[e.child].respBytes;
+    }
     return total;
 }
 
 Duration dagTreeIdeal(const DagTreeSpec& tree, uint32_t requestBytes,
                       const DagCostFn& cost) {
     if (!cost) return 0;
-    // f(n) = time from "parent sends n's request" to "n's response arrives
-    // back at the parent" = req edge + slowest child's f + resp edge.
-    // Parents precede children in the BFS order, so a reverse pass folds
-    // each node's f into its parent's running max.
-    std::vector<Duration> slowestChild(tree.nodes.size(), 0);
-    for (size_t i = tree.nodes.size(); i-- > 1;) {
-        const DagNodeSpec& n = tree.nodes[i];
-        const HostId parentHost = tree.nodes[n.parent].host;
-        const Duration f = cost(parentHost, n.host, requestBytes) +
-                           slowestChild[i] +
-                           cost(n.host, parentHost, n.respBytes);
-        slowestChild[n.parent] = std::max(slowestChild[n.parent], f);
+    // Absolute-time formulation (the old relative recursion cannot express
+    // a node with two parents). Forward pass: arrive[n] = earliest any
+    // parent's request reaches n (parents precede children in BFS order,
+    // and join parents sit one stage up, so arrive[parent] is final when
+    // n is visited). Reverse pass: done[n] = time n's subtree completes =
+    // max over children/join-children c of the time c's response reaches
+    // n, where c answers n at max(n's request arrival at c, done[c]) plus
+    // the response edge. Integer arithmetic throughout, so pure trees
+    // produce bit-identical results to the old slowest-child recursion.
+    const size_t count = tree.nodes.size();
+    std::vector<std::vector<int>> extraParents(count);
+    for (const DagJoinEdge& e : tree.joins) {
+        extraParents[e.child].push_back(e.parent);
     }
-    return slowestChild[0];
+    std::vector<Duration> arrive(count, 0);
+    for (size_t i = 1; i < count; i++) {
+        const DagNodeSpec& n = tree.nodes[i];
+        Duration a = arrive[n.parent] +
+                     cost(tree.nodes[n.parent].host, n.host, requestBytes);
+        for (int p : extraParents[i]) {
+            a = std::min(a, arrive[p] +
+                                cost(tree.nodes[p].host, n.host, requestBytes));
+        }
+        arrive[i] = a;
+    }
+    std::vector<Duration> done(count, 0);
+    auto foldResponse = [&](size_t child, int parent) {
+        const DagNodeSpec& c = tree.nodes[child];
+        const HostId parentHost = tree.nodes[parent].host;
+        const Duration reqAt =
+            arrive[parent] + cost(parentHost, c.host, requestBytes);
+        const Duration respAt = std::max(reqAt, done[child]) +
+                                cost(c.host, parentHost, c.respBytes);
+        done[parent] = std::max(done[parent], respAt);
+    };
+    for (size_t i = count; i-- > 1;) {
+        foldResponse(i, tree.nodes[i].parent);
+        for (int p : extraParents[i]) foldResponse(i, p);
+    }
+    return done[0];
 }
 
 DagEngine::DagEngine(const DagConfig& cfg, const SizeDistribution* sizes,
@@ -221,39 +294,47 @@ void DagEngine::issueTree(HostId root, Rng& rng) {
     for (size_t i = 0; i < st.spec.nodes.size(); i++) {
         st.pending[i] = st.spec.nodes[i].childCount;
     }
+    st.joinKids = dagJoinChildren(st.spec);
+    for (const DagJoinEdge& e : st.spec.joins) st.pending[e.parent]++;
+    st.fanned.assign(st.spec.nodes.size(), 0);
+    st.waiting.resize(st.spec.nodes.size());
     st.bytes = dagTreeBytes(cfg_, st.spec);
     issued_++;
     TreeState& placed = trees_.emplace(id, std::move(st)).first->second;
     // The root's fan-out: requests to every stage-1 child, sent now (the
-    // caller already bounced through the event loop).
+    // caller already bounced through the event loop). The root never has
+    // join children (their extra parents sit at stage >= 1).
+    placed.fanned[0] = 1;
     const DagNodeSpec& rootNode = placed.spec.nodes[0];
     for (int c = 0; c < rootNode.childCount; c++) {
-        sendRequest(id, placed, rootNode.firstChild + c);
+        sendRequest(id, placed, rootNode.firstChild + c, /*parent=*/0);
     }
 }
 
-void DagEngine::send(uint64_t tree, int node, bool response, HostId src,
-                     HostId dst, uint32_t bytes) {
+void DagEngine::send(uint64_t tree, int node, int parent, bool response,
+                     HostId src, HostId dst, uint32_t bytes) {
     Message m;
     m.id = allocId_();
     m.src = src;
     m.dst = dst;
     m.length = bytes;
     // Register before emitting so creation-time observers can resolve it.
-    byMsg_.emplace(m.id, MsgRole{tree, node, response});
+    byMsg_.emplace(m.id, MsgRole{tree, node, parent, response});
     emit_(m);
 }
 
-void DagEngine::sendRequest(uint64_t tree, TreeState& st, int node) {
+void DagEngine::sendRequest(uint64_t tree, TreeState& st, int node,
+                            int parent) {
     const DagNodeSpec& n = st.spec.nodes[node];
-    send(tree, node, /*response=*/false, st.spec.nodes[n.parent].host, n.host,
-         cfg_.requestBytes);
+    send(tree, node, parent, /*response=*/false, st.spec.nodes[parent].host,
+         n.host, cfg_.requestBytes);
 }
 
-void DagEngine::sendResponse(uint64_t tree, TreeState& st, int node) {
+void DagEngine::sendResponse(uint64_t tree, TreeState& st, int node,
+                             int parent) {
     const DagNodeSpec& n = st.spec.nodes[node];
-    send(tree, node, /*response=*/true, n.host, st.spec.nodes[n.parent].host,
-         n.respBytes);
+    send(tree, node, parent, /*response=*/true, n.host,
+         st.spec.nodes[parent].host, n.respBytes);
 }
 
 void DagEngine::onDelivered(const Message& m) {
@@ -266,27 +347,52 @@ void DagEngine::onDelivered(const Message& m) {
     TreeState& st = treeIt->second;
 
     if (!role.response) {
-        // Request arrived at the node: leaves answer, internal nodes fan
-        // out. Bounce through the loop so nothing is emitted from inside
-        // the transport's delivery callback (and to model a minimal
-        // software hand-off).
-        loop_.after(1, [this, tree = role.tree, node = role.node] {
-            const auto tIt = trees_.find(tree);
-            assert(tIt != trees_.end());
-            TreeState& ts = tIt->second;
-            const DagNodeSpec& n = ts.spec.nodes[node];
-            if (n.childCount == 0) {
-                sendResponse(tree, ts, node);
-            } else {
-                for (int c = 0; c < n.childCount; c++) {
-                    sendRequest(tree, ts, n.firstChild + c);
-                }
-            }
+        // Request arrived at the node. Bounce through the loop so nothing
+        // is emitted from inside the transport's delivery callback (and to
+        // model a minimal software hand-off).
+        loop_.after(1, [this, tree = role.tree, node = role.node,
+                        parent = role.parent] {
+            onRequestAt(tree, node, parent);
         });
         return;
     }
-    // Response delivered at the parent: fan-in accounting.
-    nodeAnswered(role.tree, st, st.spec.nodes[role.node].parent);
+    // Response delivered at the parent it was addressed to: fan-in
+    // accounting there (a join child decrements each parent once, via its
+    // per-parent response).
+    nodeAnswered(role.tree, st, role.parent);
+}
+
+void DagEngine::onRequestAt(uint64_t tree, int node, int parent) {
+    const auto tIt = trees_.find(tree);
+    assert(tIt != trees_.end());
+    TreeState& ts = tIt->second;
+    const DagNodeSpec& n = ts.spec.nodes[node];
+    if (n.childCount == 0) {
+        // Leaves answer every requesting parent immediately.
+        sendResponse(tree, ts, node, parent);
+        return;
+    }
+    if (!ts.fanned[node]) {
+        // First request triggers the (single) fan-out: own children plus
+        // any join children this node is the extra parent of. The
+        // requesting parent waits for the subtree.
+        ts.fanned[node] = 1;
+        ts.waiting[node].push_back(parent);
+        for (int c = 0; c < n.childCount; c++) {
+            sendRequest(tree, ts, n.firstChild + c, node);
+        }
+        for (int jc : ts.joinKids[node]) {
+            sendRequest(tree, ts, jc, node);
+        }
+        return;
+    }
+    if (ts.pending[node] == 0) {
+        // Subtree already complete (a later parent's request arrived after
+        // the fan-in finished): answer from the completed state.
+        sendResponse(tree, ts, node, parent);
+        return;
+    }
+    ts.waiting[node].push_back(parent);
 }
 
 void DagEngine::nodeAnswered(uint64_t tree, TreeState& st, int node) {
@@ -306,11 +412,17 @@ void DagEngine::nodeAnswered(uint64_t tree, TreeState& st, int node) {
         if (onComplete_) onComplete_(r);
         return;
     }
-    // All children answered: this node may now answer its own parent.
+    // All children (and join children) answered: answer every parent
+    // whose request has arrived so far; any parent requesting later gets
+    // answered straight from onRequestAt's completed-subtree branch.
     loop_.after(1, [this, tree, node] {
         const auto tIt = trees_.find(tree);
         assert(tIt != trees_.end());
-        sendResponse(tree, tIt->second, node);
+        TreeState& ts = tIt->second;
+        for (int parent : ts.waiting[node]) {
+            sendResponse(tree, ts, node, parent);
+        }
+        ts.waiting[node].clear();
     });
 }
 

@@ -59,6 +59,16 @@ struct DagConfig {
     /// `stragglerFactor` — one slow shard then dominates the whole tree.
     double stragglerFraction = 0.0;
     double stragglerFactor = 10.0;  ///< response-size multiplier (> 0)
+
+    /// General DAGs beyond trees: each node at stage >= 2 independently
+    /// gains a second parent (uniform over the previous stage, excluding
+    /// its own parent and same-host nodes) with this probability. The
+    /// extra parent also queries the node and waits for its answer — a
+    /// shared subtree / multi-parent join. 0 = pure trees, and samples no
+    /// extra randomness, so existing tree goldens are unperturbed. Joins
+    /// only materialize when depth >= 2 (stage-1 nodes' only possible
+    /// extra parent is the root itself).
+    double joinFraction = 0.0;
 };
 
 /// Nodes per tree (excluding the root): sum of fanout^d for d in
@@ -113,11 +123,27 @@ struct DagNodeSpec {
     int childCount = 0;      ///< number of children (contiguous from firstChild)
 };
 
-/// A fully sampled tree: shape, placement, and sizes, fixed at issue
-/// time (see sampleDagTree).
+/// A join edge: `parent` is an *additional* parent of `child` (on top of
+/// nodes[child].parent). The extra parent sends `child` its own request
+/// and `child` answers it with its own copy of the response; the extra
+/// parent's fan-in then also waits on `child`. Always stage(parent) ==
+/// stage(child) - 1, so edges never form cycles and parent < child in
+/// BFS order.
+struct DagJoinEdge {
+    int parent = 0;
+    int child = 0;
+};
+
+/// A fully sampled tree — or DAG when `joins` is non-empty: shape,
+/// placement, and sizes, fixed at issue time (see sampleDagTree).
 struct DagTreeSpec {
     std::vector<DagNodeSpec> nodes;  ///< BFS order; parent index < child index
+    std::vector<DagJoinEdge> joins;  ///< extra parent edges, child-ascending
 };
+
+/// Adjacency of the join edges: result[p] lists the join children of
+/// node p, in edge order. Nodes with no joins get empty lists.
+std::vector<std::vector<int>> dagJoinChildren(const DagTreeSpec& tree);
 
 /// Samples one tree: shape from `cfg`, node hosts from `pickChild`
 /// (must never return the parent's host), response sizes from
@@ -129,18 +155,21 @@ DagTreeSpec sampleDagTree(
     const std::function<HostId(HostId parent, Rng&)>& pickChild);
 
 /// Payload bytes the tree moves end-to-end: one request per edge plus
-/// every node's response.
+/// every node's response — join edges carry their own request and
+/// response copy.
 int64_t dagTreeBytes(const DagConfig& cfg, const DagTreeSpec& tree);
 
 /// Best-case transfer time of `bytes` from `src` to `dst` on an unloaded
 /// network (an Oracle::bestOneWay wrapper, injected by the driver).
 using DagCostFn = std::function<Duration(HostId src, HostId dst, uint32_t bytes)>;
 
-/// Unloaded critical path of the tree: the slowest root-to-leaf-to-root
-/// chain of request/response transfers, assuming perfect pipelining of
-/// siblings (a lower bound — it ignores the serialization of a node's
-/// fan-out on its own uplink, which is part of what the experiment
-/// measures). 0 when `cost` is empty.
+/// Unloaded critical path of the tree (or DAG): the slowest chain of
+/// request/response transfers from the root back to the root, assuming
+/// perfect pipelining of siblings (a lower bound — it ignores the
+/// serialization of a node's fan-out on its own uplink, which is part of
+/// what the experiment measures). With join edges a node answers an
+/// extra parent no earlier than max(that parent's request arrival, its
+/// own subtree completion). 0 when `cost` is empty.
 Duration dagTreeIdeal(const DagTreeSpec& tree, uint32_t requestBytes,
                       const DagCostFn& cost);
 
@@ -188,10 +217,14 @@ public:
     uint64_t treesIssued() const { return issued_; }
     uint64_t treesCompleted() const { return completed_; }
 
-    /// Introspection for the fan-in semantics tests.
+    /// Introspection for the fan-in semantics tests. `parent` is the node
+    /// index the message pairs with: the parent that sent the request /
+    /// the parent the response is addressed to (join children exchange
+    /// one request+response pair per parent).
     struct MsgRole {
         uint64_t tree = 0;
         int node = 0;
+        int parent = -1;
         bool response = false;
     };
     std::optional<MsgRole> roleOf(MsgId id) const;
@@ -201,16 +234,22 @@ public:
 private:
     struct TreeState {
         DagTreeSpec spec;
-        std::vector<int> pending;  // unanswered children per node
+        std::vector<int> pending;  // unanswered children (+ joins) per node
+        std::vector<std::vector<int>> joinKids;  // dagJoinChildren(spec)
+        std::vector<char> fanned;  // node already fanned out
+        // Parents whose request arrived before the node's subtree was
+        // done; all answered at once when the last child answers.
+        std::vector<std::vector<int>> waiting;
         HostId root = kNoHost;
         Time issued = 0;
         int64_t bytes = 0;
     };
 
-    void send(uint64_t tree, int node, bool response, HostId src, HostId dst,
-              uint32_t bytes);
-    void sendRequest(uint64_t tree, TreeState& st, int node);
-    void sendResponse(uint64_t tree, TreeState& st, int node);
+    void send(uint64_t tree, int node, int parent, bool response, HostId src,
+              HostId dst, uint32_t bytes);
+    void sendRequest(uint64_t tree, TreeState& st, int node, int parent);
+    void sendResponse(uint64_t tree, TreeState& st, int node, int parent);
+    void onRequestAt(uint64_t tree, int node, int parent);
     void nodeAnswered(uint64_t tree, TreeState& st, int node);
 
     DagConfig cfg_;

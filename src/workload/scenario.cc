@@ -94,6 +94,15 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                         "'<pattern>[+fluid:<bytes>]' (e.g. "
                         "\"uniform+fluid:20000\")");
         }
+        if (head == "tenants") {
+            return fail("a tenants segment cannot come first: the spec is "
+                        "'uniform+tenants:...' (e.g. "
+                        "\"uniform+tenants:name=a,wl=W4,load=0.6\")");
+        }
+        if (head == "replicas") {
+            return fail("a replicas segment cannot come first: the spec is "
+                        "'uniform+tenants:...+replicas:...'");
+        }
         if (head != "dag") {
             return fail("pattern '" + head + "' takes no ':' parameters "
                         "(only dag does)");
@@ -152,15 +161,68 @@ bool scenarioFromSpec(const std::string& spec, ScenarioConfig& out,
                 return fail("fluid threshold '" + body + "' out of range");
             }
             parsed.fluidThresholdBytes = static_cast<int64_t>(v);
+        } else if (seg.rfind("tenants:", 0) == 0) {
+            if (!parsed.serving.tenants.empty()) {
+                return fail("at most one tenants: segment per scenario");
+            }
+            std::string terr;
+            if (!parseTenantsSpec(seg.substr(8), parsed.serving.tenants,
+                                  &terr)) {
+                return fail("bad tenants spec '" + seg.substr(8) + "': " +
+                            terr);
+            }
+        } else if (seg.rfind("replicas:", 0) == 0) {
+            if (!parsed.serving.groups.empty()) {
+                return fail("at most one replicas: segment per scenario");
+            }
+            std::string rerr;
+            if (!parseReplicasSpec(seg.substr(9), parsed.serving.groups,
+                                   &rerr)) {
+                return fail("bad replicas spec '" + seg.substr(9) + "': " +
+                            rerr);
+            }
         } else {
             return fail("unknown scenario modifier '" + seg +
                         "' (expected on-off, ecmp, topo:..., fluid:<bytes>, "
-                        "or fault:...)");
+                        "fault:..., tenants:..., or replicas:...)");
         }
     }
     if (parsed.fluidThresholdBytes >= 0 && !parsed.faults.empty()) {
         return fail("fluid does not compose with fault injection: fluid "
                     "flows bypass the switches faults act on");
+    }
+    if (!parsed.serving.groups.empty() && parsed.serving.tenants.empty()) {
+        return fail("a replicas: segment requires a tenants: segment "
+                    "(groups without tenants serve nobody)");
+    }
+    if (parsed.serving.enabled()) {
+        if (parsed.kind != TrafficPatternKind::Uniform) {
+            return fail("tenants require the 'uniform' pattern placeholder: "
+                        "tenant configs own destination choice and arrival "
+                        "modes, so '" + std::string(patternName(parsed.kind)) +
+                        "' would be ignored");
+        }
+        if (parsed.onOff.enabled) {
+            return fail("tenants do not compose with on-off: each tenant "
+                        "carries its own arrival mode");
+        }
+        if (!parsed.faults.empty()) {
+            return fail("tenants do not compose with fault injection: the "
+                        "serving harness's call ledgers assume a fault-free "
+                        "fabric");
+        }
+        if (parsed.fluidThresholdBytes >= 0) {
+            return fail("tenants do not compose with fluid: serving runs "
+                        "account per RPC on the packet engine");
+        }
+        // Validate group references eagerly (host counts are checked at
+        // run time against the actual topology).
+        for (const TenantConfig& t : parsed.serving.tenants) {
+            if (tenantGroupIndex(parsed.serving, t) < 0) {
+                return fail("tenant '" + t.name + "' references unknown "
+                            "replica group '" + t.group + "'");
+            }
+        }
     }
     out = parsed;
     return true;

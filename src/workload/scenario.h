@@ -22,6 +22,7 @@
 #include "sim/random.h"
 #include "sim/time.h"
 #include "workload/rpc_dag.h"
+#include "workload/serving.h"
 
 namespace homa {
 
@@ -132,6 +133,17 @@ struct ScenarioConfig {
     // topology untouched.
     std::string topoSpec;
 
+    // Multi-tenant serving ("tenants:" / "replicas:" modifiers): tenant
+    // fleets with their own workloads and arrival modes against named
+    // replica groups, run by the RPC harness (runRpcExperiment) rather
+    // than the message-level generator — the CLI dispatches on
+    // serving.enabled(). Composes with "topo:" and "ecmp" only: the
+    // serving harness owns its arrival processes (no on-off), and its
+    // per-call accounting assumes the packet engine (no fluid, no
+    // faults). The pattern segment must be "uniform" (the placeholder —
+    // tenants override destination choice entirely).
+    ServingConfig serving;
+
     // Fluid fast path ("fluid:" modifier): messages with length >= this
     // many bytes are simulated as flow-level fluid transfers (sim/fluid.h)
     // instead of packet by packet; 0 sends everything fluid. -1 (default)
@@ -150,7 +162,10 @@ struct ScenarioConfig {
 /// "ecmp", "topo:<body>" (parseTopoSpec; at most one), "fluid:<bytes>"
 /// (fluid fast-path threshold, a non-negative integer; at most one, and
 /// not combinable with fault segments), and any number of "fault:<body>"
-/// segments (parseFaultSpec).
+/// segments (parseFaultSpec). Serving modifiers: "tenants:<body>"
+/// (parseTenantsSpec; at most one, pattern must be "uniform", not
+/// combinable with on-off/fluid/fault) and "replicas:<body>"
+/// (parseReplicasSpec; requires a tenants segment).
 /// Returns false and leaves `out` untouched on malformed specs, with a
 /// human-readable reason in *err (if given). This is the syntax the
 /// figure benches accept via HOMA_SCENARIO.

@@ -163,6 +163,118 @@ TEST(BenchCompareCli, FidelityModePassesHealthyAndFailsDegraded) {
     EXPECT_NE(out.find("drift at p50"), std::string::npos) << out;
 }
 
+// A healthy serving artifact matching the BENCH_serving.json schema.
+const std::string kServingArtifact = R"({
+  "bench": "serving",
+  "hardware_cores": 8,
+  "hosts": 16,
+  "tenants": 3,
+  "p2c_p99_slowdown": 1.85,
+  "random_p99_slowdown": 1.96,
+  "tail_win": 1.06,
+  "hedges_issued": 100,
+  "hedges_won": 40,
+  "hedges_cancelled": 60,
+  "hedges_failed": 0,
+  "hedge_conservation_holds": true,
+  "serial_parallel_identical": true,
+  "sweep_identical": true
+})";
+
+TEST(BenchCompareCli, ServingGateRequiresTheStrictTailWin) {
+    const std::string base = tempPath("serving_base.json");
+    const std::string cur = tempPath("serving_cur.json");
+    writeFile(base, kServingArtifact);
+    writeFile(cur, kServingArtifact);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+    // p2c p99 >= random p99: the headline claim fails at any tolerance.
+    std::string lost = kServingArtifact;
+    lost.replace(lost.find("\"p2c_p99_slowdown\": 1.85"),
+                 std::string("\"p2c_p99_slowdown\": 1.85").size(),
+                 "\"p2c_p99_slowdown\": 2.10");
+    writeFile(cur, lost);
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      "--tolerance 9 " + base + " " + cur, &out), 1);
+    EXPECT_NE(out.find("not strictly below random"), std::string::npos)
+        << out;
+}
+
+TEST(BenchCompareCli, ServingGateHardFailsOnBrokenInvariantFlags) {
+    const std::string base = tempPath("serving_flag_base.json");
+    const std::string cur = tempPath("serving_flag_cur.json");
+    writeFile(base, kServingArtifact);
+    for (const char* flag :
+         {"hedge_conservation_holds", "serial_parallel_identical",
+          "sweep_identical"}) {
+        std::string broken = kServingArtifact;
+        const std::string on = std::string("\"") + flag + "\": true";
+        broken.replace(broken.find(on), on.size(),
+                       std::string("\"") + flag + "\": false");
+        writeFile(cur, broken);
+        std::string out;
+        EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                          "--tolerance 9 " + base + " " + cur, &out), 1)
+            << flag;
+        EXPECT_NE(out.find(flag), std::string::npos) << out;
+        EXPECT_NE(out.find("broke its invariants"), std::string::npos)
+            << out;
+    }
+}
+
+TEST(BenchCompareCli, ServingGateBoundsBaselineDrift) {
+    const std::string base = tempPath("serving_drift_base.json");
+    const std::string cur = tempPath("serving_drift_cur.json");
+    writeFile(base, kServingArtifact);
+    // Still strictly below random, but 30% above the baseline tail.
+    std::string drifted = kServingArtifact;
+    drifted.replace(drifted.find("\"p2c_p99_slowdown\": 1.85"),
+                    std::string("\"p2c_p99_slowdown\": 1.85").size(),
+                    "\"p2c_p99_slowdown\": 1.95");
+    drifted.replace(drifted.find("\"random_p99_slowdown\": 1.96"),
+                    std::string("\"random_p99_slowdown\": 1.96").size(),
+                    "\"random_p99_slowdown\": 3.00");
+    writeFile(cur, drifted);
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      "--tolerance 0.02 " + base + " " + cur, &out), 1);
+    EXPECT_NE(out.find("vs baseline"), std::string::npos) << out;
+    // The same pair passes at the default 15% tolerance (1.95/1.85 ≈ 5%).
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, base + " " + cur), 0);
+}
+
+TEST(BenchCompareCli, ServingFidelityModeIsSelfContained) {
+    const std::string healthy = tempPath("serving_fid.json");
+    writeFile(healthy, kServingArtifact);
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, "--fidelity " + healthy), 0);
+    // The checked-in degraded fixture trips three distinct gates.
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      "--fidelity " + std::string(HOMA_TESTDATA_DIR) +
+                          "/BENCH_serving_degraded.json", &out), 1);
+    EXPECT_NE(out.find("hedge_conservation_holds"), std::string::npos) << out;
+    EXPECT_NE(out.find("sweep_identical"), std::string::npos) << out;
+    EXPECT_NE(out.find("not strictly below random"), std::string::npos)
+        << out;
+}
+
+TEST(BenchCompareCli, UnrecognizedSchemaIsAFailureNotASilentSkip) {
+    // A new BENCH_*.json with a schema the gate does not know must fail
+    // loudly in both modes — this is how BENCH_serving.json was added
+    // without being silently dropped, and how the next artifact will be.
+    const std::string mystery = tempPath("mystery.json");
+    writeFile(mystery, R"({"bench": "mystery", "metric": 1.0})");
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN,
+                      mystery + " " + mystery, &out), 1);
+    EXPECT_NE(out.find("unrecognized schema 'mystery'"), std::string::npos)
+        << out;
+    EXPECT_EQ(runTool(HOMA_BENCH_COMPARE_BIN, "--fidelity " + mystery, &out),
+              1);
+    EXPECT_NE(out.find("unrecognized schema 'mystery'"), std::string::npos)
+        << out;
+}
+
 TEST(BenchTrajectoryCli, FoldsRunHistoryIntoAMarkdownReport) {
     const std::string out = tempPath("BENCH_trajectory.md");
     EXPECT_EQ(runTool(HOMA_BENCH_TRAJECTORY_BIN,
@@ -175,6 +287,32 @@ TEST(BenchTrajectoryCli, FoldsRunHistoryIntoAMarkdownReport) {
     // Deltas vs the previous run, and the recorded gate skip surfaced.
     EXPECT_NE(md.find("+10.6%"), std::string::npos) << md;
     EXPECT_NE(md.find("skipped"), std::string::npos) << md;
+}
+
+TEST(BenchTrajectoryCli, ServingMetricsAppearAndMysterySchemasWarn) {
+    // Build a one-run history holding a serving artifact plus an
+    // unknown-schema artifact: the serving headline columns must render,
+    // and the mystery file must draw the per-file warning and the report
+    // note — never a silent empty row.
+    const std::string history = tempPath("trajectory_serving");
+    ASSERT_EQ(std::system(("rm -rf " + history + " && mkdir -p " + history +
+                           "/run-001").c_str()), 0);
+    writeFile(history + "/run-001/BENCH_serving.json", kServingArtifact);
+    writeFile(history + "/run-001/BENCH_mystery.json",
+              R"({"bench": "mystery", "metric": 1.0})");
+    const std::string md = tempPath("trajectory_serving.md");
+    std::string out;
+    EXPECT_EQ(runTool(HOMA_BENCH_TRAJECTORY_BIN, history + " " + md, &out),
+              0);
+    EXPECT_NE(out.find("BENCH_mystery.json: unrecognized schema"),
+              std::string::npos) << out;
+    const std::string report = readFile(md);
+    EXPECT_NE(report.find("## BENCH_serving.json"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("p2c_p99_slowdown"), std::string::npos) << report;
+    EXPECT_NE(report.find("tail_win"), std::string::npos) << report;
+    EXPECT_NE(report.find("1 artifact file(s) had an unrecognized schema"),
+              std::string::npos) << report;
 }
 
 TEST(BenchTrajectoryCli, RejectsEmptyHistory) {

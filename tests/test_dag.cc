@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <map>
 #include <set>
+#include <tuple>
 
 #ifdef HOMA_RUN_EXPERIMENT_BIN
 #include <sys/wait.h>
@@ -173,7 +174,7 @@ TEST(DagTree, IdealIsTheSlowestLeafToRootChain) {
     EXPECT_EQ(dagTreeIdeal(tree, cfg.requestBytes, nullptr), 0);
 }
 
-// --------------------------------------------- fan-in semantics (external)
+// ------------------------------------------------- multi-parent joins
 
 // Delivers every message after a size-dependent service time without
 // simulating packets: exercises the pure tree control flow.
@@ -203,6 +204,183 @@ TrafficConfig dagConfig(DagConfig dag, Duration stop = milliseconds(2)) {
     cfg.scenario.dag = dag;
     return cfg;
 }
+
+TEST(DagJoins, SamplingIsDeterministicAndWellFormed) {
+    DagConfig cfg;
+    cfg.fanout = 3;
+    cfg.depth = 3;
+    cfg.stageResponseBytes = {4000, 1000, 200};
+    cfg.joinFraction = 0.5;
+    const DagTreeSpec tree = sampleTree(cfg);
+    ASSERT_FALSE(tree.joins.empty());
+    int lastChild = -1;
+    for (const DagJoinEdge& e : tree.joins) {
+        ASSERT_GE(e.parent, 0);
+        ASSERT_LT(static_cast<size_t>(e.child), tree.nodes.size());
+        // An extra parent sits exactly one stage up, is never the node's
+        // own parent, never shares its host, and precedes it in BFS
+        // order — the acyclicity guarantee.
+        EXPECT_LT(e.parent, e.child);
+        EXPECT_EQ(tree.nodes[e.parent].stage, tree.nodes[e.child].stage - 1);
+        EXPECT_NE(e.parent, tree.nodes[e.child].parent);
+        EXPECT_NE(tree.nodes[e.parent].host, tree.nodes[e.child].host);
+        EXPECT_GE(tree.nodes[e.child].stage, 2);  // no root-level joins
+        EXPECT_GT(e.child, lastChild);  // child-ascending, one edge per node
+        lastChild = e.child;
+    }
+    // Same seed => the same DAG, edge for edge.
+    const DagTreeSpec again = sampleTree(cfg);
+    ASSERT_EQ(again.joins.size(), tree.joins.size());
+    for (size_t i = 0; i < tree.joins.size(); i++) {
+        EXPECT_EQ(again.joins[i].parent, tree.joins[i].parent);
+        EXPECT_EQ(again.joins[i].child, tree.joins[i].child);
+    }
+    // The adjacency view covers every edge exactly once.
+    const std::vector<std::vector<int>> kids = dagJoinChildren(tree);
+    size_t total = 0;
+    for (const std::vector<int>& k : kids) total += k.size();
+    EXPECT_EQ(total, tree.joins.size());
+}
+
+TEST(DagJoins, ZeroFractionIsByteIdenticalToPureTrees) {
+    // joinFraction = 0 must draw nothing from the RNG: the sampled shape
+    // is node-for-node identical to a config that predates the knob, so
+    // existing tree goldens are unperturbed by the DAG extension.
+    DagConfig pure;
+    pure.fanout = 3;
+    pure.depth = 3;
+    pure.stageResponseBytes = {4000, 1000, 200};
+    DagConfig zeroed = pure;
+    zeroed.joinFraction = 0.0;
+    const DagTreeSpec a = sampleTree(pure);
+    const DagTreeSpec b = sampleTree(zeroed);
+    EXPECT_TRUE(b.joins.empty());
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (size_t i = 0; i < a.nodes.size(); i++) {
+        EXPECT_EQ(a.nodes[i].host, b.nodes[i].host);
+        EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+        EXPECT_EQ(a.nodes[i].respBytes, b.nodes[i].respBytes);
+    }
+}
+
+TEST(DagJoins, JoinsOnlyLengthenTheIdealAndAddBytes) {
+    DagConfig cfg;
+    cfg.fanout = 3;
+    cfg.depth = 3;
+    cfg.requestBytes = 10;
+    cfg.stageResponseBytes = {50, 30, 20};
+    cfg.joinFraction = 0.7;
+    const DagTreeSpec joined = sampleTree(cfg);
+    ASSERT_FALSE(joined.joins.empty());
+    DagTreeSpec stripped = joined;
+    stripped.joins.clear();
+    const DagCostFn cost = [](HostId, HostId, uint32_t bytes) {
+        return static_cast<Duration>(bytes);
+    };
+    // Join edges add constraints (an extra parent to answer) and carry
+    // their own request + response copy: the ideal can only grow, and
+    // the byte count grows by exactly one edge's worth per join.
+    EXPECT_GE(dagTreeIdeal(joined, cfg.requestBytes, cost),
+              dagTreeIdeal(stripped, cfg.requestBytes, cost));
+    int64_t joinBytes = 0;
+    for (const DagJoinEdge& e : joined.joins) {
+        joinBytes += cfg.requestBytes + joined.nodes[e.child].respBytes;
+    }
+    EXPECT_EQ(dagTreeBytes(cfg, joined),
+              dagTreeBytes(cfg, stripped) + joinBytes);
+    // A pure tree's ideal must match the historical slowest-chain value
+    // (the absolute-time reformulation is a pure refactor for trees).
+    EXPECT_GT(dagTreeIdeal(stripped, cfg.requestBytes, cost), 0);
+}
+
+TEST(DagJoins, EngineHoldsFanInForJoinChildrenToo) {
+    // External ledger over the message-level engine: a node may answer
+    // *any* parent only after every one of its own children AND every
+    // join child it queried has delivered its response to it.
+    DagConfig dag;
+    dag.fanout = 3;
+    dag.depth = 3;
+    dag.roots = 4;
+    dag.stageResponseBytes = {500, 300, 200};
+    dag.joinFraction = 0.5;
+    Network net(NetworkConfig::singleRack16(), [](HostServices& h) {
+        return std::make_unique<DelayTransport>(h);
+    });
+    TrafficGenerator* genPtr = nullptr;
+    // (tree, child, parent) triples whose response was delivered — join
+    // children answer each parent separately, so the parent matters.
+    std::set<std::tuple<uint64_t, int, int>> deliveredResponses;
+    uint64_t joinEdgesSeen = 0, joinFanInsChecked = 0;
+    std::set<uint64_t> treesSeen;
+    TrafficGenerator gen(net, dagConfig(dag, milliseconds(3)), [&](const Message& m) {
+        const auto role = genPtr->dag()->roleOf(m.id);
+        ASSERT_TRUE(role.has_value());
+        const DagTreeSpec* spec = genPtr->dag()->treeSpec(role->tree);
+        ASSERT_NE(spec, nullptr);
+        if (treesSeen.insert(role->tree).second) {
+            joinEdgesSeen += spec->joins.size();
+        }
+        if (!role->response) return;
+        const DagNodeSpec& n = spec->nodes[role->node];
+        for (int c = 0; c < n.childCount; c++) {
+            EXPECT_TRUE(deliveredResponses.count(
+                {role->tree, n.firstChild + c, role->node}) != 0)
+                << "tree " << role->tree << " node " << role->node
+                << " responded before own child " << n.firstChild + c;
+        }
+        const std::vector<std::vector<int>> kids = dagJoinChildren(*spec);
+        for (int jc : kids[static_cast<size_t>(role->node)]) {
+            EXPECT_TRUE(deliveredResponses.count(
+                {role->tree, jc, role->node}) != 0)
+                << "tree " << role->tree << " node " << role->node
+                << " responded before join child " << jc;
+            joinFanInsChecked++;
+        }
+    });
+    genPtr = &gen;
+    net.setDeliveryCallback([&](const Message& m, const DeliveryInfo&) {
+        const auto role = gen.dag()->roleOf(m.id);
+        ASSERT_TRUE(role.has_value());
+        if (role->response) {
+            deliveredResponses.insert({role->tree, role->node, role->parent});
+        }
+        gen.onDelivered(m);
+    });
+    gen.start();
+    net.loop().runUntil(milliseconds(4));
+    EXPECT_GT(gen.dag()->treesCompleted(), 5u);
+    EXPECT_GT(joinEdgesSeen, 0u);       // the DAGs actually had joins
+    EXPECT_GT(joinFanInsChecked, 0u);   // and their fan-ins were checked
+}
+
+TEST(DagJoins, SpecParsesAndEndToEndReplaysByteIdentically) {
+    ScenarioConfig s;
+    ASSERT_TRUE(scenarioFromSpec("dag:fanout=3,depth=3,join=0.4", s));
+    EXPECT_DOUBLE_EQ(s.dag.joinFraction, 0.4);
+    ScenarioConfig untouched;
+    EXPECT_FALSE(scenarioFromSpec("dag:join=1.5", untouched));
+    EXPECT_FALSE(scenarioFromSpec("dag:join=abc", untouched));
+
+    ExperimentConfig cfg;
+    cfg.net = NetworkConfig::singleRack16();
+    cfg.traffic.workload = WorkloadId::W1;
+    cfg.traffic.stop = milliseconds(2);
+    cfg.traffic.scenario.kind = TrafficPatternKind::Dag;
+    cfg.traffic.scenario.dag.fanout = 3;
+    cfg.traffic.scenario.dag.depth = 3;
+    cfg.traffic.scenario.dag.roots = 4;
+    cfg.traffic.scenario.dag.stageResponseBytes = {4000, 1000, 200};
+    cfg.traffic.scenario.dag.joinFraction = 0.5;
+    const ExperimentResult a = runExperiment(cfg);
+    ASSERT_TRUE(a.dag);
+    EXPECT_GT(a.dag->trees(), 0u);
+    EXPECT_EQ(resultFingerprint(a), resultFingerprint(runExperiment(cfg)));
+    ExperimentConfig reseeded = cfg;
+    reseeded.traffic.seed = cfg.traffic.seed + 1;
+    EXPECT_NE(resultFingerprint(a), resultFingerprint(runExperiment(reseeded)));
+}
+
+// --------------------------------------------- fan-in semantics (external)
 
 TEST(DagFanIn, ParentResponseNeverFiresBeforeLastChildDelivery) {
     DagConfig dag;
@@ -498,6 +676,8 @@ TEST(RunExperimentCli, RejectsContradictoryFlagCombinations) {
     EXPECT_EQ(runCli("--pattern dag --dag-req 4294967297"), 2);
     EXPECT_EQ(runCli("--pattern dag --dag-fanout abc"), 2);
     EXPECT_EQ(runCli("--pattern dag --dag-straggler x"), 2);
+    EXPECT_EQ(runCli("--pattern dag --dag-join 1.5"), 2);  // out of [0, 1]
+    EXPECT_EQ(runCli("--pattern dag --dag-join abc"), 2);
     EXPECT_EQ(runCli("--window 3"), 2);                   // pre-existing rule
     EXPECT_EQ(runCli("--on-us 5"), 2);
 }

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "driver/rpc_experiment.h"
 #include "driver/sweep.h"
 
 namespace homa {
@@ -394,6 +395,129 @@ TEST(SweepRunner, DerivedSeedsDifferPerPointAndReproduce) {
     cfg.traffic.seed = deriveSweepSeed(opts.baseSeed, 1);
     EXPECT_EQ(resultFingerprint(runExperiment(cfg)),
               resultFingerprint(out.results[1]));
+}
+
+// --------------------------------------------------- serving goldens
+
+// A serving mix exercising all three selector policies, hedging, and
+// both arrival modes — everything the serving fingerprint covers.
+RpcExperimentConfig servingConfig(uint64_t seed = 31) {
+    RpcExperimentConfig cfg;
+    cfg.net = NetworkConfig::singleRack16();
+    cfg.seed = seed;
+    cfg.stop = milliseconds(3);
+
+    TenantConfig open;
+    open.name = "open";
+    open.workload = WorkloadId::W1;
+    open.mode = ArrivalMode::Open;
+    open.load = 0.4;
+    open.clients = 4;
+    TenantConfig closed;
+    closed.name = "closed";
+    closed.workload = WorkloadId::W2;
+    closed.mode = ArrivalMode::Closed;
+    closed.window = 4;
+    closed.clients = 2;
+    closed.group = "bulk";
+
+    ReplicaGroupConfig fast;  // hedged p2c pool
+    fast.name = "fast";
+    fast.replicas = 5;
+    fast.policy = LbPolicy::PowerOfTwo;
+    fast.hedgePercentile = 0.90;
+    fast.hedgeMinSamples = 8;
+    ReplicaGroupConfig bulk;
+    bulk.name = "bulk";
+    bulk.replicas = 0;
+    bulk.policy = LbPolicy::RoundRobin;
+
+    cfg.serving.tenants = {open, closed};
+    cfg.serving.groups = {fast, bulk};
+    return cfg;
+}
+
+TEST(ServingDeterminism, SameSeedReplaysByteIdentically) {
+    // Tenants + replica selection + hedging are all derived from the
+    // seed: the whole serving cascade — arrival draws, p2c depth
+    // tie-breaks, hedge timers, cancellations — must replay bit-for-bit,
+    // and a different seed must actually move the results.
+    const RpcExperimentConfig cfg = servingConfig();
+    const RpcExperimentResult a = runRpcExperiment(cfg);
+    ASSERT_TRUE(a.tenants);
+    EXPECT_GT(a.serving.logicalCompleted, 0u);
+    EXPECT_GT(a.serving.hedgesIssued, 0u);
+    EXPECT_EQ(resultFingerprint(a), resultFingerprint(runRpcExperiment(cfg)));
+    EXPECT_NE(resultFingerprint(a),
+              resultFingerprint(runRpcExperiment(servingConfig(32))));
+}
+
+TEST(ServingDeterminism, SerialEqualsParallelKnob) {
+    // The serving harness orchestrates every tenant from one loop, so
+    // parallel.threads must be inert — same bytes, not just same stats.
+    for (Protocol kind : {Protocol::Homa, Protocol::PFabric, Protocol::Ndp}) {
+        RpcExperimentConfig cfg = servingConfig();
+        cfg.proto.kind = kind;
+        const RpcExperimentResult serial = runRpcExperiment(cfg);
+        cfg.parallel.threads = 4;
+        EXPECT_EQ(resultFingerprint(serial),
+                  resultFingerprint(runRpcExperiment(cfg)))
+            << protocolName(kind);
+    }
+}
+
+TEST(ServingDeterminism, SweepPointsIdenticalAtOneAndManyThreads) {
+    // Serving points ride the RPC sweep fan-out: per-point derived seeds,
+    // collection in input order, byte-identical whatever the width.
+    std::vector<RpcExperimentConfig> points;
+    points.push_back(servingConfig());
+    RpcExperimentConfig random = servingConfig();
+    random.serving.groups[0].policy = LbPolicy::Random;
+    points.push_back(random);
+    RpcExperimentConfig unhedged = servingConfig();
+    unhedged.serving.groups[0].hedgePercentile = 0;
+    points.push_back(unhedged);
+
+    SweepOptions serial;
+    serial.threads = 1;
+    serial.deriveSeeds = true;
+    SweepOptions parallel = serial;
+    parallel.threads = 4;
+
+    const RpcSweepOutcome one = runRpcSweep(points, serial);
+    const RpcSweepOutcome many = runRpcSweep(points, parallel);
+    ASSERT_EQ(one.results.size(), points.size());
+    ASSERT_EQ(many.results.size(), points.size());
+    for (size_t i = 0; i < points.size(); i++) {
+        EXPECT_GT(one.results[i].serving.logicalCompleted, 0u)
+            << "point " << i;
+        EXPECT_EQ(resultFingerprint(one.results[i]),
+                  resultFingerprint(many.results[i]))
+            << "point " << i;
+    }
+    // Identical configs at different grid indices still differ (per-point
+    // seed derivation), and the derived seed reproduces the point.
+    EXPECT_NE(resultFingerprint(one.results[0]),
+              resultFingerprint(one.results[1]));
+    RpcExperimentConfig standalone = points[2];
+    standalone.seed = deriveSweepSeed(serial.baseSeed, 2);
+    EXPECT_EQ(resultFingerprint(runRpcExperiment(standalone)),
+              resultFingerprint(one.results[2]));
+}
+
+TEST(ServingDeterminism, NoTenantsFingerprintHasNoServingBlock) {
+    // The serving block is gated on the tracker's presence: a plain RPC
+    // run's fingerprint must not grow tenant keys just because the
+    // serving layer exists — existing goldens stay byte-identical.
+    RpcExperimentConfig cfg;
+    cfg.net = NetworkConfig::singleRack16();
+    cfg.stop = milliseconds(2);
+    const RpcExperimentResult r = runRpcExperiment(cfg);
+    ASSERT_FALSE(r.tenants);
+    const std::string fp = resultFingerprint(r);
+    EXPECT_EQ(fp.find("tn"), std::string::npos) << fp;
+    EXPECT_EQ(fp.find("sv"), std::string::npos) << fp;
+    EXPECT_EQ(resultFingerprint(r), resultFingerprint(runRpcExperiment(cfg)));
 }
 
 TEST(SweepRunner, SeedDerivationIsAPureSpreadFunction) {

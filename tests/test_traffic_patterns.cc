@@ -323,6 +323,78 @@ TEST(OnOffArrivals, SpecParsing) {
     EXPECT_EQ(untouched.kind, TrafficPatternKind::RackSkew);
 }
 
+TEST(ServingSpecSegments, TenantsAndReplicasParseAndRoundTrip) {
+    // The '+tenants:'/'+replicas:' scenario modifiers route through the
+    // same parsers as the --tenants/--replicas flags; the parsed configs
+    // must survive the canonical-string round trip.
+    ScenarioConfig s;
+    ASSERT_TRUE(scenarioFromSpec(
+        "uniform+tenants:name=web,wl=W1,load=0.6,clients=4;"
+        "name=batch,wl=W5,mode=closed,window=8,clients=2,group=bulk"
+        "+replicas:name=fast,n=2,lb=p2c,hedge=p95,hedge_floor_us=20,"
+        "hedge_min=32;name=bulk,n=0,lb=rr", s));
+    ASSERT_TRUE(s.serving.enabled());
+    ASSERT_EQ(s.serving.tenants.size(), 2u);
+    ASSERT_EQ(s.serving.groups.size(), 2u);
+    EXPECT_EQ(s.serving.tenants[0].name, "web");
+    EXPECT_EQ(s.serving.tenants[1].group, "bulk");
+    EXPECT_EQ(s.serving.groups[0].policy, LbPolicy::PowerOfTwo);
+    EXPECT_DOUBLE_EQ(s.serving.groups[0].hedgePercentile, 0.95);
+
+    ScenarioConfig again;
+    ASSERT_TRUE(scenarioFromSpec(
+        "uniform+tenants:" + tenantsSpecToString(s.serving.tenants) +
+        "+replicas:" + replicasSpecToString(s.serving.groups), again));
+    EXPECT_EQ(tenantsSpecToString(again.serving.tenants),
+              tenantsSpecToString(s.serving.tenants));
+    EXPECT_EQ(replicasSpecToString(again.serving.groups),
+              replicasSpecToString(s.serving.groups));
+
+    // Serving composes with topology segments — the spec carries both.
+    ASSERT_TRUE(scenarioFromSpec(
+        "uniform+tenants:name=a,wl=W1,load=0.5,clients=4+topo:racks=2,"
+        "hosts=8", s));
+    ASSERT_TRUE(s.serving.enabled());
+}
+
+TEST(ServingSpecSegments, RejectionsNameTheConflict) {
+    struct Case {
+        const char* spec;
+        const char* expect;
+    };
+    const Case cases[] = {
+        {"tenants:name=a,clients=4", "cannot come first"},
+        {"replicas:name=pool", "cannot come first"},
+        {"uniform+replicas:name=pool",
+         "requires a tenants: segment"},
+        {"incast+tenants:name=a,clients=4",
+         "require the 'uniform' pattern placeholder"},
+        {"uniform+tenants:name=a,clients=4+tenants:name=b,clients=2",
+         "at most one tenants: segment"},
+        {"uniform+tenants:bogus", "bad tenants spec"},
+        {"uniform+tenants:name=a,clients=4+replicas:lb=p2c",
+         "bad replicas spec"},
+        {"uniform+on-off+tenants:name=a,clients=4",
+         "do not compose with on-off"},
+        {"uniform+fault:flap=aggr0,at=1ms,for=1ms+tenants:name=a,clients=4",
+         "do not compose with fault injection"},
+        {"uniform+fluid:20000+tenants:name=a,clients=4",
+         "do not compose with fluid"},
+        {"uniform+tenants:name=a,clients=4,group=nowhere",
+         "references unknown replica group"},
+    };
+    for (const Case& c : cases) {
+        ScenarioConfig untouched;
+        untouched.kind = TrafficPatternKind::RackSkew;
+        std::string err;
+        EXPECT_FALSE(scenarioFromSpec(c.spec, untouched, &err)) << c.spec;
+        EXPECT_NE(err.find(c.expect), std::string::npos)
+            << c.spec << " gave: " << err;
+        EXPECT_EQ(untouched.kind, TrafficPatternKind::RackSkew);
+        EXPECT_FALSE(untouched.serving.enabled());
+    }
+}
+
 TEST(OnOffArrivals, DistNamesRoundTrip) {
     for (OnOffDist d : {OnOffDist::Exponential, OnOffDist::Pareto}) {
         OnOffDist parsed;

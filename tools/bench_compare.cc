@@ -39,8 +39,20 @@
 //    hybrid speedup must clear a 10x floor (both runs are serial on the
 //    same machine, so the ratio is immune to core starvation) and must
 //    not drop below baseline * (1 - tol).
+//  * serving JSON (BENCH_serving.json, the multi-tenant RPC serving
+//    harness): the hedge-conservation / serial-vs-parallel / sweep
+//    identity flags hard-fail at any tolerance, power-of-two-choices
+//    p99 slowdown must stay *strictly below* random selection, and the
+//    p2c tail must not drift past baseline * (1 + tol). All numbers are
+//    deterministic simulation outputs, so no core-count escape applies.
 //
-// --fidelity mode takes bare artifacts (no baseline pairing) and gates
+// In both pairing modes an artifact whose schema the gate does not
+// recognize is a FAILURE with an "unrecognized schema" message, never a
+// silent skip — a new BENCH_*.json cannot drop out of CI unnoticed.
+//
+// --fidelity mode takes bare artifacts (no baseline pairing), dispatches
+// on the "bench" field (fluid_speedup -> fidelity bands, serving -> its
+// self-contained hard gates), and gates
 // each fluid_speedup artifact's "fidelity" entries self-contained: the
 // hybrid run's overall slowdown p50 must stay within --tolerance
 // (default 0.25 in this mode) of the packet run's, and the hybrid p99
@@ -317,17 +329,63 @@ void compareFluid(const std::string& basePath, const Json& base,
     }
 }
 
+/// Serving hard gates, shared by the pair-mode compare and --fidelity:
+/// identity/conservation flags hard-fail at any tolerance, and the
+/// headline power-of-two-choices claim — p2c p99 slowdown strictly below
+/// random — is self-contained (both numbers are deterministic simulation
+/// outputs recorded side by side in the artifact).
+void checkServingGates(const std::string& path, const Json& doc) {
+    for (const char* flag :
+         {"hedge_conservation_holds", "serial_parallel_identical",
+          "sweep_identical"}) {
+        const Json* v = doc.get(flag);
+        if (v == nullptr || v->kind != Json::Bool || !v->boolean) {
+            fail("%s: %s is not true — the serving harness broke its "
+                 "invariants", path.c_str(), flag);
+        } else {
+            std::printf("ok: %s\n", flag);
+        }
+    }
+    const double p2cP99 = doc.num("p2c_p99_slowdown");
+    const double randP99 = doc.num("random_p99_slowdown");
+    if (p2cP99 <= 0 || randP99 <= 0) {
+        fail("%s: missing p2c/random p99 slowdown metrics", path.c_str());
+    } else if (p2cP99 >= randP99) {
+        fail("%s: power-of-two-choices p99 slowdown %.3f is not strictly "
+             "below random %.3f — the selector lost its tail win",
+             path.c_str(), p2cP99, randP99);
+    } else {
+        std::printf("ok: p2c p99 slowdown %.3f < random %.3f "
+                    "(tail win %.2fx)\n", p2cP99, randP99, randP99 / p2cP99);
+    }
+}
+
+void compareServing(const std::string& basePath, const Json& base,
+                    const std::string& curPath, const Json& cur,
+                    double tolerance) {
+    checkServingGates(curPath, cur);
+    // Baseline drift: the simulated tail numbers are machine-independent
+    // (no wall clock involved), so the tolerance guards intentional
+    // harness changes, not runner noise.
+    const double bas04 = base.num("p2c_p99_slowdown");
+    const double cur04 = cur.num("p2c_p99_slowdown");
+    if (bas04 > 0 && cur04 > bas04 * (1.0 + tolerance)) {
+        fail("%s: p2c p99 slowdown %.3f vs baseline %.3f in %s "
+             "(%.0f%% worse, tolerance %.0f%%)",
+             curPath.c_str(), cur04, bas04, basePath.c_str(),
+             100.0 * (cur04 / bas04 - 1.0), 100.0 * tolerance);
+    } else if (bas04 > 0) {
+        std::printf("ok: p2c p99 slowdown %.3f vs baseline %.3f\n", cur04,
+                    bas04);
+    }
+}
+
 /// --fidelity: gate one fluid_speedup artifact's hybrid-vs-packet
 /// slowdown percentiles, self-contained (both numbers are simulation
 /// outputs recorded side by side in the artifact).
 void checkFidelity(const std::string& path, const Json& doc,
                    double p50Tolerance) {
     constexpr double kP99Band = 2.5;
-    if (doc.str("bench") != "fluid_speedup") {
-        fail("%s: --fidelity expects a fluid_speedup artifact, got '%s'",
-             path.c_str(), doc.str("bench").c_str());
-        return;
-    }
     const Json* list = doc.get("fidelity");
     if (list == nullptr || list->kind != Json::Array || list->items.empty()) {
         fail("%s: no fidelity entries to gate", path.c_str());
@@ -434,7 +492,19 @@ int main(int argc, char** argv) {
             }
             std::printf("--- fidelity gate: %s (p50 tolerance %.0f%%) ---\n",
                         path.c_str(), 100.0 * p50Tol);
-            checkFidelity(path, doc, p50Tol);
+            // Dispatch on the artifact's declared schema; an artifact the
+            // gate does not understand is a failure, not a silent skip —
+            // otherwise a new BENCH_*.json drops out of CI unnoticed.
+            const std::string kind = doc.str("bench");
+            if (kind == "fluid_speedup") {
+                checkFidelity(path, doc, p50Tol);
+            } else if (kind == "serving") {
+                checkServingGates(path, doc);
+            } else {
+                fail("%s: unrecognized schema '%s' — artifact not gated "
+                     "(teach bench_compare its format or drop it)",
+                     path.c_str(), kind.c_str());
+            }
         }
         if (failures > 0) {
             std::fprintf(stderr, "bench_compare: %d fidelity failure(s)\n",
@@ -473,9 +543,12 @@ int main(int argc, char** argv) {
             compareParallel(basePath, base, curPath, cur, tolerance);
         } else if (base.str("bench") == "fluid_speedup") {
             compareFluid(basePath, base, curPath, cur, tolerance);
+        } else if (base.str("bench") == "serving") {
+            compareServing(basePath, base, curPath, cur, tolerance);
         } else {
-            fail("%s: unrecognized benchmark artifact format",
-                 basePath.c_str());
+            fail("%s: unrecognized schema '%s' — artifact not gated "
+                 "(teach bench_compare its format or drop it)",
+                 basePath.c_str(), base.str("bench").c_str());
         }
     }
     if (failures > 0) {

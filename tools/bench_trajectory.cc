@@ -15,10 +15,13 @@
 // "speedup_gate_skipped" annotation) are marked, not silently mixed in.
 //
 // Metrics: artifacts with a "bench" field contribute their scalar
-// headline numbers (speedup, wall_seconds_*); google-benchmark
-// artifacts contribute per-benchmark cpu_time (capped at 6 columns —
-// the report says what was dropped). A missing artifact in some run
-// shows as "—".
+// headline numbers (speedup, wall_seconds_*, the serving harness's
+// p2c/random tail percentiles); google-benchmark artifacts contribute
+// per-benchmark cpu_time (capped at 6 columns — the report says what
+// was dropped). A missing artifact in some run shows as "—". An
+// artifact matching no known schema gets a per-file "unrecognized
+// schema" warning on stderr plus a note in the report — never a silent
+// empty row.
 //
 // Standard library only — this tool must build with a bare g++ in CI.
 #include <algorithm>
@@ -47,12 +50,20 @@ struct ArtifactRun {
     std::string skipReason;
 };
 
-Metrics extractMetrics(const Json& doc, int& droppedColumns) {
+/// `recognized` reports whether the document matched a known schema at
+/// all (a "bench"-tagged artifact carrying at least one known headline
+/// key, or a google-benchmark artifact). An unrecognized artifact must
+/// be *warned about*, not silently rendered as empty columns — that is
+/// how a new BENCH_*.json silently falls out of the report.
+Metrics extractMetrics(const Json& doc, int& droppedColumns,
+                       bool& recognized) {
     Metrics out;
+    recognized = false;
     if (doc.get("bench") != nullptr) {
         static const char* kHeadline[] = {
             "speedup", "wall_seconds_packet", "wall_seconds_hybrid",
             "wall_seconds_1_thread", "wall_seconds_parallel",
+            "p2c_p99_slowdown", "random_p99_slowdown", "tail_win",
         };
         for (const char* key : kHeadline) {
             const Json* v = doc.get(key);
@@ -60,10 +71,12 @@ Metrics extractMetrics(const Json& doc, int& droppedColumns) {
                 out.emplace_back(key, v->number);
             }
         }
+        recognized = !out.empty();
         return out;
     }
     const Json* list = doc.get("benchmarks");
     if (list != nullptr && list->kind == Json::Array) {
+        recognized = true;
         for (const Json& b : list->items) {
             if (b.str("run_type") != "iteration") continue;
             if (out.size() >= 6) {
@@ -125,6 +138,7 @@ int main(int argc, char** argv) {
     std::map<std::string, std::vector<ArtifactRun>> series;
     int droppedColumns = 0;
     int parseFailures = 0;
+    int unrecognized = 0;
     for (size_t r = 0; r < runs.size(); r++) {
         for (const fs::directory_entry& e :
              fs::recursive_directory_iterator(historyDir / runs[r])) {
@@ -142,7 +156,16 @@ int main(int argc, char** argv) {
             runsOf.resize(runs.size());
             ArtifactRun& slot = runsOf[r];
             slot.present = true;
-            slot.metrics = extractMetrics(doc, droppedColumns);
+            bool recognized = false;
+            slot.metrics = extractMetrics(doc, droppedColumns, recognized);
+            if (!recognized) {
+                std::fprintf(stderr,
+                             "bench_trajectory: %s: unrecognized schema — "
+                             "no headline metrics extracted (teach "
+                             "extractMetrics its keys)\n",
+                             e.path().string().c_str());
+                unrecognized++;
+            }
             const Json* skipped = doc.get("speedup_gate_skipped");
             if (skipped != nullptr && skipped->kind == Json::Bool &&
                 skipped->boolean) {
@@ -169,6 +192,11 @@ int main(int argc, char** argv) {
     if (parseFailures > 0) {
         md += "\n> " + std::to_string(parseFailures) +
               " artifact file(s) failed to parse and were dropped.\n";
+    }
+    if (unrecognized > 0) {
+        md += "\n> " + std::to_string(unrecognized) +
+              " artifact file(s) had an unrecognized schema (no headline "
+              "metrics extracted); their rows are empty.\n";
     }
 
     for (const auto& [artifact, perRun] : series) {
